@@ -1,0 +1,137 @@
+package repro
+
+// One benchmark per reproduced experiment (DESIGN.md E1–E9). Each iteration
+// regenerates the experiment's table at a small scale and sanity-checks its
+// headline cell, so `go test -bench=.` both times the simulation and
+// re-verifies the paper's qualitative results.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchScale keeps iterations fast; cmd/experiments runs the full scale.
+var benchScale = experiments.Scale{Trials: 2, Quick: true}
+
+func benchTable(b *testing.B, fn func(experiments.Scale) experiments.Table, check func(t experiments.Table) bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl := fn(benchScale)
+		if check != nil && !check(tbl) {
+			b.Fatalf("%s: headline result did not reproduce:\n%s", tbl.ID, tbl.String())
+		}
+	}
+}
+
+// BenchmarkE1AssociationCapture — Figure 1's capture mechanics: the nearby
+// rogue must win the victim's association every time.
+func BenchmarkE1AssociationCapture(b *testing.B) {
+	benchTable(b, experiments.E1AssociationCapture, func(t experiments.Table) bool {
+		return t.Rows[0][2] == "100%" && t.Rows[len(t.Rows)-1][2] == "0%"
+	})
+}
+
+// BenchmarkE2DownloadMITM — Figure 2's download attack: compromise across
+// open, WEP, and WEP+MAC-filter configurations.
+func BenchmarkE2DownloadMITM(b *testing.B) {
+	benchTable(b, experiments.E2DownloadMITM, func(t experiments.Table) bool {
+		for _, r := range t.Rows {
+			if r[1] != "100%" {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// BenchmarkE2bBoundary — §4.2's netsed packet-boundary limitation and the
+// streaming fix.
+func BenchmarkE2bBoundary(b *testing.B) {
+	benchTable(b, experiments.E2bBoundary, func(t experiments.Table) bool {
+		miss := false
+		for _, r := range t.Rows {
+			if r[1] == "MISSED" {
+				miss = true
+			}
+			if r[2] != "yes" {
+				return false
+			}
+		}
+		return miss
+	})
+}
+
+// BenchmarkE2cContentInjection — §5.1: script injection into a trusted page.
+func BenchmarkE2cContentInjection(b *testing.B) {
+	benchTable(b, experiments.E2cContentInjection, func(t experiments.Table) bool {
+		return t.Rows[0][2] == "100%" && t.Rows[1][2] == "0%"
+	})
+}
+
+// BenchmarkE3VPNDefense — Figure 3: full tunnel clean, split tunnel still
+// compromised.
+func BenchmarkE3VPNDefense(b *testing.B) {
+	benchTable(b, experiments.E3VPNDefense, func(t experiments.Table) bool {
+		return t.Rows[0][1] == "100%" && t.Rows[1][2] == "100%" &&
+			t.Rows[2][3] != "0" && t.Rows[3][1] == "100%"
+	})
+}
+
+// BenchmarkE4FMSCrack — Airsnort's key recovery and the weak-IV-avoidance
+// ablation.
+func BenchmarkE4FMSCrack(b *testing.B) {
+	benchTable(b, experiments.E4FMSCrack, func(t experiments.Table) bool {
+		return t.Rows[0][4] == "yes" && t.Rows[len(t.Rows)-1][4] == "MISSED"
+	})
+}
+
+// BenchmarkE5MACFilterBypass — §2.1: ACLs stop unlisted MACs, not cloned
+// ones.
+func BenchmarkE5MACFilterBypass(b *testing.B) {
+	benchTable(b, experiments.E5MACFilterBypass, func(t experiments.Table) bool {
+		return t.Rows[0][1] == "0%" && t.Rows[1][1] == "100%"
+	})
+}
+
+// BenchmarkE6TCPoverTCP — §5.3: the TCP-in-TCP carrier pathology under
+// wireless loss.
+func BenchmarkE6TCPoverTCP(b *testing.B) {
+	benchTable(b, experiments.E6TCPoverTCP, nil)
+}
+
+// BenchmarkE7Detection — §2.3: monitoring-based rogue detection.
+func BenchmarkE7Detection(b *testing.B) {
+	benchTable(b, experiments.E7Detection, func(t experiments.Table) bool {
+		return t.Rows[0][2] != "0%" // cloned rogue detected
+	})
+}
+
+// BenchmarkE8Eavesdrop — §1.1: wireless broadcast vs switched-wire
+// visibility.
+func BenchmarkE8Eavesdrop(b *testing.B) {
+	benchTable(b, experiments.E8Eavesdrop, func(t experiments.Table) bool {
+		return t.Rows[0][2] == "yes" && t.Rows[1][2] != "yes" &&
+			t.Rows[2][2] != "yes" && t.Rows[3][2] == "yes"
+	})
+}
+
+// BenchmarkE9Overhead — the defense's cost on a healthy network.
+func BenchmarkE9Overhead(b *testing.B) {
+	benchTable(b, experiments.E9Overhead, func(t experiments.Table) bool {
+		for _, r := range t.Rows {
+			if strings.Contains(r[1], "failed") {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// BenchmarkE2dHostileHotspot — §1.2.2: the operator-is-the-attacker class.
+func BenchmarkE2dHostileHotspot(b *testing.B) {
+	benchTable(b, experiments.E2dHostileHotspot, func(t experiments.Table) bool {
+		return t.Rows[1][2] == "100%" && t.Rows[2][1] == "100%"
+	})
+}

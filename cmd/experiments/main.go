@@ -1,0 +1,68 @@
+// Command experiments regenerates the paper-reproduction tables (DESIGN.md
+// E1–E9). Run everything:
+//
+//	go run ./cmd/experiments
+//
+// Or a subset, faster:
+//
+//	go run ./cmd/experiments -run e2,e3 -trials 10
+//	go run ./cmd/experiments -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids (e1,e2,e2b,e2c,e2d,e3,e4,e5,e6,e7,e8,e9) or 'all'")
+	trials := flag.Int("trials", 5, "trials per sweep point")
+	quick := flag.Bool("quick", false, "reduce the heaviest experiments")
+	flag.Parse()
+
+	scale := experiments.Scale{Trials: *trials, Quick: *quick}
+	want := map[string]bool{}
+	for _, id := range strings.Split(strings.ToLower(*run), ",") {
+		want[strings.TrimSpace(id)] = true
+	}
+	all := want["all"]
+
+	type exp struct {
+		id string
+		fn func(experiments.Scale) experiments.Table
+	}
+	list := []exp{
+		{"e1", experiments.E1AssociationCapture},
+		{"e2", experiments.E2DownloadMITM},
+		{"e2b", experiments.E2bBoundary},
+		{"e2c", experiments.E2cContentInjection},
+		{"e2d", experiments.E2dHostileHotspot},
+		{"e3", experiments.E3VPNDefense},
+		{"e4", experiments.E4FMSCrack},
+		{"e5", experiments.E5MACFilterBypass},
+		{"e6", experiments.E6TCPoverTCP},
+		{"e7", experiments.E7Detection},
+		{"e8", experiments.E8Eavesdrop},
+		{"e9", experiments.E9Overhead},
+	}
+	ran := 0
+	for _, e := range list {
+		if !all && !want[e.id] {
+			continue
+		}
+		start := time.Now()
+		tbl := e.fn(scale)
+		fmt.Println(tbl.String())
+		fmt.Printf("(%s generated in %v)\n\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched -run=%q\n", *run)
+		os.Exit(2)
+	}
+}

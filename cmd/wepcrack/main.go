@@ -1,0 +1,89 @@
+// Command wepcrack demonstrates the Airsnort step of the paper's attack:
+// passive FMS recovery of a WEP key from captured weak-IV traffic.
+//
+//	go run ./cmd/wepcrack
+//	go run ./cmd/wepcrack -key 1337c0ffee -keysize 5
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wep"
+)
+
+func main() {
+	keyHex := flag.String("key", "", "target key in hex (default: ASCII 'SECRE')")
+	keySize := flag.Int("keysize", 5, "key size in bytes: 5 (WEP-40) or 13 (WEP-104)")
+	seed := flag.Uint64("seed", 1, "traffic generator seed")
+	flag.Parse()
+
+	var key wep.Key
+	if *keyHex == "" {
+		if *keySize == 13 {
+			key = wep.Key([]byte("thirteenbytes"))
+		} else {
+			key = wep.Key40FromString("SECRE")
+		}
+	} else {
+		b, err := hex.DecodeString(*keyHex)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bad -key:", err)
+			os.Exit(2)
+		}
+		key = wep.Key(b)
+	}
+	if err := key.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("target network key: %x (%d-bit WEP) — unknown to the attacker\n", []byte(key), len(key)*8)
+	fmt.Println("sniffing... (frames with FMS-weak IVs feed the cracker)")
+
+	cracker := wep.NewCracker(len(key))
+	ref := wep.Seal(key, wep.IV{200, 1, 1}, 0, []byte("reference frame for verification"))
+	cracker.Verify = func(k wep.Key) bool {
+		_, err := wep.Open(k, ref)
+		return err == nil
+	}
+
+	rng := sim.NewRNG(*seed)
+	start := time.Now()
+	payload := []byte{wep.SNAPFirstByte, 0xaa, 0x03, 0, 0, 0, 8, 0}
+	const batch = 4096
+	total := 0
+	for attempt := 1; ; attempt++ {
+		for i := 0; i < batch; i++ {
+			iv := wep.IVFromUint32(rng.Uint32() & 0xffffff)
+			total++
+			if !iv.IsWeak(len(key)) {
+				cracker.Frames++ // strong frames cost nothing but airtime
+				continue
+			}
+			cracker.AddSealed(wep.Seal(key, iv, 0, payload))
+		}
+		got, err := cracker.RecoverKey()
+		if err == nil {
+			fmt.Printf("\nkey RECOVERED after %d captured frames (%d weak): %x\n",
+				total, cracker.WeakFrames, []byte(got))
+			fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Millisecond))
+			if string(got) != string(key) {
+				fmt.Println("...but it does not match?! (report a bug)")
+				os.Exit(1)
+			}
+			return
+		}
+		if attempt%64 == 0 {
+			fmt.Printf("  %8d frames captured, %5d weak — still cracking\n", total, cracker.WeakFrames)
+		}
+		if total > 60_000_000 {
+			fmt.Println("giving up after 60M frames")
+			os.Exit(1)
+		}
+	}
+}

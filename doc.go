@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Countering Rogues in
+// Wireless Networks" (Godber & Dasgupta, ICPP Workshops 2003): a
+// deterministic discrete-event simulation of 802.11b (PHY, MAC, WEP), the
+// wired substrate (Ethernet, ARP, IPv4, TCP/UDP), the attacker's toolkit
+// (rogue AP, parprouted bridge, Netfilter DNAT, netsed, FMS cracking, deauth
+// forcing), the paper's VPN-everything defense, and the monitoring-based
+// rogue detectors.
+//
+// Start with DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// reproduced results, examples/ for runnable walkthroughs, and
+// cmd/experiments to regenerate every table. The repository-root benchmarks
+// (bench_test.go) time one regeneration of each experiment.
+package repro

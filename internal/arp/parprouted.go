@@ -1,0 +1,132 @@
+package arp
+
+import (
+	"repro/internal/ethernet"
+	"repro/internal/inet"
+	"repro/internal/sim"
+)
+
+// RouteInstaller receives the host routes parprouted learns. ipv4.Stack
+// satisfies it.
+type RouteInstaller interface {
+	AddHostRoute(ip inet.Addr, iface string)
+}
+
+// Parprouted reproduces V. Ivaschenko's proxy-ARP routing daemon, which the
+// paper's Appendix A uses to build the transparent bridge between the rogue
+// AP interface (wlan0) and the interface associated to the real network
+// (eth1):
+//
+//	# Create the bridge
+//	parprouted wlan0 eth1
+//
+// Mechanism: the daemon watches ARP traffic on each interface, learns which
+// interface each IP address lives behind, installs /32 host routes, and
+// answers ARP requests for addresses that live behind *another* interface
+// with the local interface's MAC — so neighbours send it their traffic and
+// IP forwarding (enabled separately) relays it. Addresses nobody has proven
+// yet are probed on the other interfaces; the requester's retry then gets a
+// proxy reply.
+type Parprouted struct {
+	kernel *sim.Kernel
+	routes RouteInstaller
+	ifaces []bridgeIface
+	// where maps a learned IP to the index of its home interface.
+	where map[inet.Addr]int
+
+	// Learned counts installed host routes; Proxied counts proxy replies
+	// sent on behalf of remote addresses.
+	Learned uint64
+}
+
+type bridgeIface struct {
+	name   string
+	client *Client
+}
+
+// NewParprouted bridges the given (name, ARP client) pairs. Clients keep any
+// Observer they already have; the daemon chains onto it.
+func NewParprouted(k *sim.Kernel, routes RouteInstaller, ifaces map[string]*Client) *Parprouted {
+	p := &Parprouted{
+		kernel: k,
+		routes: routes,
+		where:  make(map[inet.Addr]int),
+	}
+	for name, c := range ifaces {
+		p.ifaces = append(p.ifaces, bridgeIface{name: name, client: c})
+	}
+	// Deterministic order regardless of map iteration.
+	for i := 0; i < len(p.ifaces); i++ {
+		for j := i + 1; j < len(p.ifaces); j++ {
+			if p.ifaces[j].name < p.ifaces[i].name {
+				p.ifaces[i], p.ifaces[j] = p.ifaces[j], p.ifaces[i]
+			}
+		}
+	}
+	for idx := range p.ifaces {
+		idx := idx
+		bi := p.ifaces[idx]
+		prev := bi.client.Observer
+		bi.client.Observer = func(pk Packet) {
+			if prev != nil {
+				prev(pk)
+			}
+			p.observe(idx, pk)
+		}
+		bi.client.ProxyFor = func(ip inet.Addr) bool {
+			home, known := p.where[ip]
+			if known && home != idx {
+				return true
+			}
+			if !known {
+				// Probe the other interfaces so the requester's ARP
+				// retry finds the address resolved.
+				p.probe(idx, ip)
+			}
+			return false
+		}
+	}
+	return p
+}
+
+// observe learns address locations from ARP traffic seen on iface idx.
+func (p *Parprouted) observe(idx int, pk Packet) {
+	p.learn(idx, pk.SenderIP)
+}
+
+// learn records that ip lives behind interface idx and installs the route.
+func (p *Parprouted) learn(idx int, ip inet.Addr) {
+	if ip.IsUnspecified() {
+		return
+	}
+	if cur, ok := p.where[ip]; ok && cur == idx {
+		return
+	}
+	p.where[ip] = idx
+	p.Learned++
+	p.routes.AddHostRoute(ip, p.ifaces[idx].name)
+}
+
+// probe asks the other interfaces who owns ip.
+func (p *Parprouted) probe(exclude int, ip inet.Addr) {
+	for i := range p.ifaces {
+		if i == exclude {
+			continue
+		}
+		i := i
+		p.ifaces[i].client.Resolve(ip, func(_ ethernet.MAC, err error) {
+			if err == nil {
+				p.learn(i, ip)
+			}
+		})
+	}
+}
+
+// Where reports the learned home interface for ip.
+func (p *Parprouted) Where(ip inet.Addr) (string, bool) {
+	idx, ok := p.where[ip]
+	if !ok {
+		return "", false
+	}
+	return p.ifaces[idx].name, true
+}

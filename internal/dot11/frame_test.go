@@ -1,0 +1,210 @@
+package dot11
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ethernet"
+)
+
+var (
+	macAP  = ethernet.MustParseMAC("02:00:00:aa:bb:cc")
+	macSTA = ethernet.MustParseMAC("02:00:00:11:22:33")
+	macDst = ethernet.MustParseMAC("02:00:00:44:55:66")
+)
+
+func TestFrameMarshalRoundTrip(t *testing.T) {
+	f := Frame{
+		Type: TypeData, Subtype: SubtypeDataFrame,
+		ToDS: true, Protected: true, Retry: true,
+		Addr1: macAP, Addr2: macSTA, Addr3: macDst,
+		Seq: 1234, Frag: 3,
+		Body: []byte("payload"),
+	}
+	g, err := Unmarshal(f.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Type != f.Type || g.Subtype != f.Subtype || g.ToDS != f.ToDS ||
+		g.FromDS != f.FromDS || g.Retry != f.Retry || g.Protected != f.Protected ||
+		g.Addr1 != f.Addr1 || g.Addr2 != f.Addr2 || g.Addr3 != f.Addr3 ||
+		g.Seq != f.Seq || g.Frag != f.Frag || string(g.Body) != "payload" {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", f, g)
+	}
+}
+
+func TestQuickFrameRoundTrip(t *testing.T) {
+	f := func(typ, sub byte, toDS, fromDS, prot bool, a1, a2, a3 [6]byte, seq uint16, body []byte) bool {
+		in := Frame{
+			Type: Type(typ & 0x3), Subtype: Subtype(sub & 0xf),
+			ToDS: toDS, FromDS: fromDS, Protected: prot,
+			Addr1: ethernet.MAC(a1), Addr2: ethernet.MAC(a2), Addr3: ethernet.MAC(a3),
+			Seq:  seq & 0x0fff,
+			Body: body,
+		}
+		out, err := Unmarshal(in.Marshal())
+		return err == nil &&
+			out.Type == in.Type && out.Subtype == in.Subtype &&
+			out.ToDS == in.ToDS && out.FromDS == in.FromDS && out.Protected == in.Protected &&
+			out.Addr1 == in.Addr1 && out.Addr2 == in.Addr2 && out.Addr3 == in.Addr3 &&
+			out.Seq == in.Seq && bytes.Equal(out.Body, in.Body)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalShort(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, headerLen-1)); err != ErrShortFrame {
+		t.Fatal("short frame accepted")
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := Frame{Type: TypeManagement, Subtype: SubtypeBeacon, Addr2: macAP}
+	if s := f.String(); s == "" || s[:6] != "beacon" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestBeaconBodyRoundTrip(t *testing.T) {
+	b := BeaconBody{Timestamp: 123456789, BeaconInterval: 100, Capability: CapESS | CapPrivacy, SSID: "CORP", Channel: 6}
+	g, err := UnmarshalBeaconBody(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != b {
+		t.Fatalf("got %+v want %+v", g, b)
+	}
+}
+
+func TestBeaconBodyEmptySSID(t *testing.T) {
+	b := BeaconBody{BeaconInterval: 100, SSID: "", Channel: 1}
+	g, err := UnmarshalBeaconBody(b.Marshal())
+	if err != nil || g.SSID != "" {
+		t.Fatalf("g=%+v err=%v", g, err)
+	}
+}
+
+func TestBeaconBodyShort(t *testing.T) {
+	if _, err := UnmarshalBeaconBody(make([]byte, 5)); err == nil {
+		t.Fatal("short body accepted")
+	}
+}
+
+func TestProbeReqBodyRoundTrip(t *testing.T) {
+	for _, ssid := range []string{"", "CORP", "a very long network name here"} {
+		b := ProbeReqBody{SSID: ssid}
+		g, err := UnmarshalProbeReqBody(b.Marshal())
+		if err != nil || g.SSID != ssid {
+			t.Fatalf("ssid %q: g=%+v err=%v", ssid, g, err)
+		}
+	}
+}
+
+func TestAuthBodyRoundTrip(t *testing.T) {
+	ch := make([]byte, 128)
+	for i := range ch {
+		ch[i] = byte(i)
+	}
+	b := AuthBody{Algorithm: AuthSharedKey, Seq: 2, Status: StatusSuccess, Challenge: ch}
+	g, err := UnmarshalAuthBody(b.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Algorithm != b.Algorithm || g.Seq != b.Seq || g.Status != b.Status || !bytes.Equal(g.Challenge, ch) {
+		t.Fatalf("got %+v", g)
+	}
+}
+
+func TestAuthBodyNoChallenge(t *testing.T) {
+	b := AuthBody{Algorithm: AuthOpen, Seq: 1}
+	g, err := UnmarshalAuthBody(b.Marshal())
+	if err != nil || g.Challenge != nil {
+		t.Fatalf("g=%+v err=%v", g, err)
+	}
+}
+
+func TestAssocBodiesRoundTrip(t *testing.T) {
+	req := AssocReqBody{Capability: CapESS, SSID: "CORP"}
+	greq, err := UnmarshalAssocReqBody(req.Marshal())
+	if err != nil || greq != req {
+		t.Fatalf("req g=%+v err=%v", greq, err)
+	}
+	resp := AssocRespBody{Capability: CapESS, Status: StatusSuccess, AID: 7}
+	gresp, err := UnmarshalAssocRespBody(resp.Marshal())
+	if err != nil || gresp != resp {
+		t.Fatalf("resp g=%+v err=%v", gresp, err)
+	}
+}
+
+func TestReasonBodyRoundTrip(t *testing.T) {
+	b := ReasonBody{Reason: ReasonClass3NotAssoc}
+	g, err := UnmarshalReasonBody(b.Marshal())
+	if err != nil || g != b {
+		t.Fatalf("g=%+v err=%v", g, err)
+	}
+	if _, err := UnmarshalReasonBody([]byte{1}); err == nil {
+		t.Fatal("short reason accepted")
+	}
+}
+
+func TestParseIEsTruncated(t *testing.T) {
+	if _, err := parseIEs([]byte{0}); err == nil {
+		t.Fatal("truncated IE header accepted")
+	}
+	if _, err := parseIEs([]byte{0, 5, 'a'}); err == nil {
+		t.Fatal("truncated IE body accepted")
+	}
+}
+
+func TestLLCRoundTrip(t *testing.T) {
+	b := EncapsulateLLC(ethernet.TypeIPv4, []byte("ip packet"))
+	if b[0] != 0xaa {
+		t.Fatal("LLC does not start with 0xAA (FMS known plaintext)")
+	}
+	typ, payload, err := DecapsulateLLC(b)
+	if err != nil || typ != ethernet.TypeIPv4 || string(payload) != "ip packet" {
+		t.Fatalf("typ=%v payload=%q err=%v", typ, payload, err)
+	}
+}
+
+func TestLLCRejectsGarbage(t *testing.T) {
+	if _, _, err := DecapsulateLLC([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short LLC accepted")
+	}
+	bad := EncapsulateLLC(ethernet.TypeIPv4, []byte("x"))
+	bad[0] = 0x00
+	if _, _, err := DecapsulateLLC(bad); err == nil {
+		t.Fatal("non-SNAP accepted")
+	}
+}
+
+func TestQuickLLCRoundTrip(t *testing.T) {
+	f := func(typ uint16, payload []byte) bool {
+		gt, gp, err := DecapsulateLLC(EncapsulateLLC(ethernet.EtherType(typ), payload))
+		return err == nil && gt == ethernet.EtherType(typ) && bytes.Equal(gp, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Parsers must never panic on arbitrary bytes — they face the open air.
+func TestQuickParsersNoPanic(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = Unmarshal(b)
+		_, _ = UnmarshalBeaconBody(b)
+		_, _ = UnmarshalProbeReqBody(b)
+		_, _ = UnmarshalAuthBody(b)
+		_, _ = UnmarshalAssocReqBody(b)
+		_, _ = UnmarshalAssocRespBody(b)
+		_, _ = UnmarshalReasonBody(b)
+		_, _, _ = DecapsulateLLC(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,229 @@
+package dot11
+
+import (
+	"repro/internal/ethernet"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/wep"
+)
+
+// TU is the 802.11 time unit (1024 µs) used for beacon intervals.
+const TU = 1024 * sim.Microsecond
+
+// DCF/MAC parameters (simplified but shaped like the standard).
+const (
+	sifs       = 10 * sim.Microsecond
+	difs       = 50 * sim.Microsecond
+	slotTime   = 20 * sim.Microsecond
+	cwMin      = 15
+	cwMax      = 1023
+	maxRetries = 7
+)
+
+// txJob is one frame queued for transmission.
+type txJob struct {
+	raw      []byte
+	needsAck bool
+	attempt  int // CSMA deferrals (resets per retry)
+	retries  int // ACK-timeout retransmissions
+}
+
+// entity is the MAC engine shared by AP and STA: sequence numbering, a
+// stop-and-wait transmit queue with carrier sense, per-frame link-layer
+// acknowledgements with retransmission, and receive-side duplicate
+// filtering. This is what makes the simulated link usable by TCP: a
+// collision costs a ~600 µs MAC retry instead of a 200 ms transport RTO.
+type entity struct {
+	kernel *sim.Kernel
+	radio  *phy.Radio
+	rng    *sim.RNG
+	rate   phy.Rate
+	addr   ethernet.MAC // own MAC; zero for raw injectors (no ACK behaviour)
+	seq    uint16
+
+	queue    []*txJob
+	inflight *txJob
+	ackTimer *sim.Event
+	nextTxAt sim.Time
+
+	// handler receives frames that pass address and duplicate filtering.
+	handler func(f Frame, info phy.RxInfo)
+	// lastRx maps transmitter -> last sequence number, for retry dedup.
+	lastRx map[ethernet.MAC]uint16
+
+	// Counters.
+	Deferrals   uint64
+	MACRetries  uint64
+	TxFailed    uint64
+	AcksSent    uint64
+	DupsDropped uint64
+}
+
+func newEntity(k *sim.Kernel, radio *phy.Radio, rate phy.Rate, addr ethernet.MAC) *entity {
+	if rate == 0 {
+		rate = phy.Rate11Mbps
+	}
+	e := &entity{
+		kernel: k, radio: radio, rng: k.RNG().Fork(), rate: rate, addr: addr,
+		lastRx: make(map[ethernet.MAC]uint16),
+	}
+	radio.SetReceiver(e.onRadioFrame)
+	return e
+}
+
+// nextSeq returns the next 12-bit sequence-control number — the monotonic
+// per-device counter the detect package's rogue monitor analyses.
+func (e *entity) nextSeq() uint16 {
+	s := e.seq
+	e.seq = (e.seq + 1) & 0x0fff
+	return s
+}
+
+// transmit assigns a sequence number and queues the frame.
+func (e *entity) transmit(f Frame) {
+	f.Seq = e.nextSeq()
+	e.enqueue(f)
+}
+
+// enqueue queues a frame without touching its sequence number.
+func (e *entity) enqueue(f Frame) {
+	needsAck := !f.Addr1.IsMulticast() && e.addr != (ethernet.MAC{}) && f.Type != TypeControl
+	e.queue = append(e.queue, &txJob{raw: f.Marshal(), needsAck: needsAck})
+	e.kick()
+}
+
+// kick starts the next queued frame if the channel logic is idle.
+func (e *entity) kick() {
+	if e.inflight != nil || len(e.queue) == 0 {
+		return
+	}
+	e.inflight = e.queue[0]
+	e.queue = e.queue[1:]
+	e.attemptSend()
+}
+
+// attemptSend transmits the inflight frame, deferring on pacing and carrier.
+func (e *entity) attemptSend() {
+	job := e.inflight
+	if job == nil {
+		return
+	}
+	now := e.kernel.Now()
+	if now < e.nextTxAt {
+		e.kernel.At(e.nextTxAt, e.attemptSend)
+		return
+	}
+	if e.radio.CarrierBusy() {
+		e.Deferrals++
+		job.attempt++
+		backoff := difs + sim.Time(e.rng.Intn(cwMin+1))*slotTime
+		e.kernel.After(backoff, e.attemptSend)
+		return
+	}
+	end := e.radio.Send(job.raw, e.rate)
+	// Contention gap before our next transmission, so other stations can
+	// win the channel between our frames.
+	e.nextTxAt = end + difs + sim.Time(e.rng.Intn(8))*slotTime
+	if !job.needsAck {
+		e.inflight = nil
+		e.kernel.At(end, e.kick)
+		return
+	}
+	// Await the link-layer ACK.
+	timeout := end + sifs + phy.Airtime(ackFrameLen, e.rate) + 3*slotTime
+	e.ackTimer = e.kernel.At(timeout, func() { e.onAckTimeout(job) })
+}
+
+func (e *entity) onAckTimeout(job *txJob) {
+	if e.inflight != job {
+		return
+	}
+	job.retries++
+	if job.retries > maxRetries {
+		e.TxFailed++
+		e.inflight = nil
+		e.kick()
+		return
+	}
+	e.MACRetries++
+	job.raw[1] |= 0x08 // set the Retry bit
+	// Exponential backoff before the retry.
+	cw := cwMin << uint(job.retries)
+	if cw > cwMax {
+		cw = cwMax
+	}
+	e.nextTxAt = e.kernel.Now() + difs + sim.Time(e.rng.Intn(cw+1))*slotTime
+	e.attemptSend()
+}
+
+func (e *entity) onAckReceived() {
+	if e.inflight == nil {
+		return
+	}
+	if e.ackTimer != nil {
+		e.ackTimer.Cancel()
+		e.ackTimer = nil
+	}
+	e.inflight = nil
+	e.kick()
+}
+
+// ackFrameLen is the serialised size of our control ACK.
+const ackFrameLen = headerLen
+
+// sendAck transmits a control ACK to dst after SIFS, bypassing contention
+// (ACKs have channel priority in DCF).
+func (e *entity) sendAck(dst ethernet.MAC) {
+	e.AcksSent++
+	ack := Frame{Type: TypeControl, Subtype: SubtypeAck, Addr1: dst}
+	raw := ack.Marshal()
+	e.kernel.After(sifs, func() { e.radio.Send(raw, e.rate) })
+}
+
+// onRadioFrame is the shared receive path: ACK handling, ACK generation,
+// duplicate filtering, then the owner's handler.
+func (e *entity) onRadioFrame(raw []byte, info phy.RxInfo) {
+	f, err := Unmarshal(raw)
+	if err != nil {
+		return
+	}
+	if f.Type == TypeControl {
+		if f.Subtype == SubtypeAck && e.addr != (ethernet.MAC{}) && f.Addr1 == e.addr {
+			e.onAckReceived()
+		}
+		return
+	}
+	if e.addr != (ethernet.MAC{}) && f.Addr1 == e.addr {
+		e.sendAck(f.Addr2)
+		if f.Retry {
+			if last, ok := e.lastRx[f.Addr2]; ok && last == f.Seq {
+				e.DupsDropped++
+				return
+			}
+		}
+		e.lastRx[f.Addr2] = f.Seq
+	}
+	if e.handler != nil {
+		e.handler(f, info)
+	}
+}
+
+// sealBody WEP-encapsulates a frame body if a key is configured.
+func sealBody(key wep.Key, ivs wep.IVSource, body []byte) []byte {
+	return wep.Seal(key, ivs.NextIV(), 0, body)
+}
+
+// BSS describes an observed basic service set, as accumulated from beacons
+// and probe responses during a scan.
+type BSS struct {
+	SSID           string
+	BSSID          ethernet.MAC
+	Channel        phy.Channel
+	RSSIDBm        float64
+	Capability     uint16
+	BeaconInterval uint16 // TU
+	LastSeen       sim.Time
+}
+
+// Privacy reports whether the BSS requires WEP.
+func (b BSS) Privacy() bool { return b.Capability&CapPrivacy != 0 }

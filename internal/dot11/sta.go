@@ -1,0 +1,489 @@
+package dot11
+
+import (
+	"repro/internal/ethernet"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/wep"
+)
+
+// JoinPolicy selects among candidate BSSes after a scan.
+type JoinPolicy int
+
+// Join policies.
+const (
+	// JoinBestRSSI picks the strongest signal for the configured SSID —
+	// what real client firmware does, and the behaviour the rogue AP
+	// exploits by simply being closer or louder (experiment E1).
+	JoinBestRSSI JoinPolicy = iota
+	// JoinFirstSeen takes the first matching BSS discovered.
+	JoinFirstSeen
+	// JoinPinnedBSSID only joins the configured BSSID. Note that this is
+	// NOT a defense against the paper's attack: the rogue clones the BSSID
+	// (Figure 1 shows both APs as AA:BB:CC:DD).
+	JoinPinnedBSSID
+)
+
+// scanKey identifies a scan-cache entry: BSSIDs are not unique when a rogue
+// clones one, but (BSSID, channel) pairs are distinguishable to a scanner.
+type scanKey struct {
+	bssid   ethernet.MAC
+	channel phy.Channel
+}
+
+// STAState is the client connection state.
+type STAState int
+
+// Client states.
+const (
+	StateIdle STAState = iota
+	StateScanning
+	StateAuthenticating
+	StateAssociating
+	StateAssociated
+)
+
+// String names the state.
+func (s STAState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateScanning:
+		return "scanning"
+	case StateAuthenticating:
+		return "authenticating"
+	case StateAssociating:
+		return "associating"
+	case StateAssociated:
+		return "associated"
+	}
+	return "?"
+}
+
+// STAConfig configures a client station.
+type STAConfig struct {
+	MAC  ethernet.MAC
+	SSID string
+	// WEPKey enables WEP on data frames (and shared-key auth if
+	// SharedKeyAuth is set).
+	WEPKey        wep.Key
+	IVSource      wep.IVSource
+	SharedKeyAuth bool
+	JoinPolicy    JoinPolicy
+	// PinnedBSSID is required by JoinPinnedBSSID.
+	PinnedBSSID ethernet.MAC
+	// ExcludeBSS, when set, rejects candidate BSSes during selection. The
+	// attacker's client card uses it to avoid associating to its own
+	// rogue AP (which advertises the same SSID and cloned BSSID).
+	ExcludeBSS func(BSS) bool
+	// ScanDwellTU is the per-channel listen time (default 120 TU, just
+	// over a beacon interval).
+	ScanDwellTU uint16
+	// BeaconLossTimeout: disconnect after this long without a beacon
+	// (default 1 s).
+	BeaconLossTimeout sim.Time
+	// AutoReconnect rescans after any disconnect (default true via
+	// NewSTA; set DisableReconnect to turn off).
+	DisableReconnect bool
+	Rate             phy.Rate
+}
+
+// STA is a client station. After Connect it scans, authenticates, associates
+// and then exposes an ethernet.NIC for the host's IP stack.
+type STA struct {
+	*entity
+	cfg    STAConfig
+	kernel *sim.Kernel
+	state  STAState
+	bss    BSS
+	nic    *staNIC
+
+	scanResults map[scanKey]BSS
+	scanChan    phy.Channel
+	lastBeacon  sim.Time
+	stepTimeout *sim.Event
+	beaconCheck *sim.Event
+	stopped     bool
+
+	// OnAssociate fires when association completes.
+	OnAssociate func(bss BSS)
+	// OnDisconnect fires on deauth, disassoc, or beacon loss.
+	OnDisconnect func(reason string)
+
+	// Counters.
+	ScanCycles      uint64
+	AssocCount      uint64
+	Disconnects     uint64
+	RxICVFailures   uint64
+	DeauthsReceived uint64
+}
+
+// NewSTA creates a station (idle; call Connect to join a network).
+func NewSTA(k *sim.Kernel, radio *phy.Radio, cfg STAConfig) *STA {
+	if cfg.ScanDwellTU == 0 {
+		cfg.ScanDwellTU = 120
+	}
+	if cfg.BeaconLossTimeout == 0 {
+		cfg.BeaconLossTimeout = sim.Second
+	}
+	if cfg.IVSource == nil {
+		cfg.IVSource = &wep.SequentialIV{}
+	}
+	s := &STA{
+		entity: newEntity(k, radio, cfg.Rate, cfg.MAC),
+		cfg:    cfg,
+		kernel: k,
+	}
+	s.nic = &staNIC{sta: s}
+	s.entity.handler = s.onFrame
+	return s
+}
+
+// State reports the connection state.
+func (s *STA) State() STAState { return s.state }
+
+// BSS reports the currently (or last) joined BSS.
+func (s *STA) BSS() BSS { return s.bss }
+
+// NIC returns the station's network interface for the host IP stack. It is
+// usable once associated; sends while disconnected are dropped.
+func (s *STA) NIC() ethernet.NIC { return s.nic }
+
+// MAC returns the station's hardware address.
+func (s *STA) MAC() ethernet.MAC { return s.cfg.MAC }
+
+// Stop disables the station.
+func (s *STA) Stop() {
+	s.stopped = true
+	s.cancelTimers()
+	s.state = StateIdle
+}
+
+func (s *STA) cancelTimers() {
+	if s.stepTimeout != nil {
+		s.stepTimeout.Cancel()
+	}
+	if s.beaconCheck != nil {
+		s.beaconCheck.Cancel()
+	}
+}
+
+// Connect begins scanning for the configured SSID.
+func (s *STA) Connect() {
+	if s.stopped {
+		return
+	}
+	s.cancelTimers()
+	s.state = StateScanning
+	s.scanResults = make(map[scanKey]BSS)
+	s.scanChan = phy.MinChannel
+	s.ScanCycles++
+	s.scanStep()
+}
+
+func (s *STA) scanStep() {
+	if s.stopped || s.state != StateScanning {
+		return
+	}
+	if s.scanChan > phy.MaxChannel {
+		s.finishScan()
+		return
+	}
+	s.radio.SetChannel(s.scanChan)
+	// Active scan: probe, then dwell listening for beacons/responses.
+	probe := ProbeReqBody{SSID: s.cfg.SSID}
+	s.transmit(Frame{
+		Type: TypeManagement, Subtype: SubtypeProbeReq,
+		Addr1: ethernet.BroadcastMAC, Addr2: s.cfg.MAC, Addr3: ethernet.BroadcastMAC,
+		Body: probe.Marshal(),
+	})
+	s.stepTimeout = s.kernel.After(sim.Time(s.cfg.ScanDwellTU)*TU, func() {
+		s.scanChan++
+		s.scanStep()
+	})
+}
+
+func (s *STA) finishScan() {
+	best, ok := s.pickBSS()
+	if !ok {
+		// Nothing found; retry after a backoff.
+		s.stepTimeout = s.kernel.After(500*sim.Millisecond+s.rng.Jitter(500*sim.Millisecond), func() { s.Connect() })
+		return
+	}
+	s.join(best)
+}
+
+// pickBSS applies the join policy to scan results.
+func (s *STA) pickBSS() (BSS, bool) {
+	var best BSS
+	found := false
+	for _, b := range s.scanResults {
+		if b.SSID != s.cfg.SSID {
+			continue
+		}
+		if s.cfg.JoinPolicy == JoinPinnedBSSID && b.BSSID != s.cfg.PinnedBSSID {
+			continue
+		}
+		if s.cfg.ExcludeBSS != nil && s.cfg.ExcludeBSS(b) {
+			continue
+		}
+		if !found {
+			best, found = b, true
+			continue
+		}
+		switch s.cfg.JoinPolicy {
+		case JoinBestRSSI, JoinPinnedBSSID:
+			if b.RSSIDBm > best.RSSIDBm {
+				best = b
+			}
+		case JoinFirstSeen:
+			if b.LastSeen < best.LastSeen {
+				best = b
+			}
+		}
+	}
+	return best, found
+}
+
+const mgmtTimeout = 100 * sim.Millisecond
+
+func (s *STA) join(b BSS) {
+	s.bss = b
+	s.radio.SetChannel(b.Channel)
+	s.state = StateAuthenticating
+	alg, seq := AuthOpen, uint16(1)
+	if s.cfg.SharedKeyAuth && s.cfg.WEPKey != nil {
+		alg = AuthSharedKey
+	}
+	body := AuthBody{Algorithm: alg, Seq: seq}
+	s.transmit(Frame{
+		Type: TypeManagement, Subtype: SubtypeAuth,
+		Addr1: b.BSSID, Addr2: s.cfg.MAC, Addr3: b.BSSID,
+		Body: body.Marshal(),
+	})
+	s.armStepTimeout()
+}
+
+func (s *STA) armStepTimeout() {
+	if s.stepTimeout != nil {
+		s.stepTimeout.Cancel()
+	}
+	s.stepTimeout = s.kernel.After(mgmtTimeout, func() {
+		// Step timed out; start over.
+		if s.state == StateAuthenticating || s.state == StateAssociating {
+			s.Connect()
+		}
+	})
+}
+
+func (s *STA) onFrame(f Frame, info phy.RxInfo) {
+	if s.stopped {
+		return
+	}
+	if f.Addr1 != s.cfg.MAC && !f.Addr1.IsBroadcast() {
+		return
+	}
+	switch f.Type {
+	case TypeManagement:
+		s.onManagement(f, info)
+	case TypeData:
+		s.onData(f)
+	}
+}
+
+func (s *STA) onManagement(f Frame, info phy.RxInfo) {
+	switch f.Subtype {
+	case SubtypeBeacon, SubtypeProbeResp:
+		body, err := UnmarshalBeaconBody(f.Body)
+		if err != nil {
+			return
+		}
+		b := BSS{
+			SSID:           body.SSID,
+			BSSID:          f.Addr2,
+			Channel:        phy.Channel(body.Channel),
+			RSSIDBm:        info.RSSIDBm,
+			Capability:     body.Capability,
+			BeaconInterval: body.BeaconInterval,
+			LastSeen:       s.kernel.Now(),
+		}
+		if s.state == StateScanning {
+			// Keep the strongest sighting per (BSSID, channel): a cloned
+			// BSSID on another channel is a distinct candidate, exactly as
+			// in Figure 1.
+			key := scanKey{bssid: b.BSSID, channel: b.Channel}
+			if prev, ok := s.scanResults[key]; !ok || b.RSSIDBm > prev.RSSIDBm {
+				s.scanResults[key] = b
+			}
+		}
+		if s.state == StateAssociated && f.Addr2 == s.bss.BSSID {
+			s.lastBeacon = s.kernel.Now()
+		}
+	case SubtypeAuth:
+		s.onAuth(f)
+	case SubtypeAssocResp:
+		s.onAssocResp(f)
+	case SubtypeDeauth, SubtypeDisassoc:
+		if s.state == StateAssociated && f.Addr2 == s.bss.BSSID {
+			s.DeauthsReceived++
+			s.disconnect("deauthenticated by AP")
+		}
+	}
+}
+
+func (s *STA) onAuth(f Frame) {
+	if s.state != StateAuthenticating || f.Addr2 != s.bss.BSSID {
+		return
+	}
+	body, err := UnmarshalAuthBody(f.Body)
+	if err != nil {
+		return
+	}
+	if body.Status != StatusSuccess {
+		s.Connect() // rejected; rescan
+		return
+	}
+	switch {
+	case body.Algorithm == AuthOpen && body.Seq == 2:
+		s.sendAssocReq()
+	case body.Algorithm == AuthSharedKey && body.Seq == 2:
+		// Seal the challenge response with WEP (message 3).
+		resp := AuthBody{Algorithm: AuthSharedKey, Seq: 3, Status: StatusSuccess, Challenge: body.Challenge}
+		sealed := sealBody(s.cfg.WEPKey, s.cfg.IVSource, resp.Marshal())
+		s.transmit(Frame{
+			Type: TypeManagement, Subtype: SubtypeAuth, Protected: true,
+			Addr1: s.bss.BSSID, Addr2: s.cfg.MAC, Addr3: s.bss.BSSID,
+			Body: sealed,
+		})
+		s.armStepTimeout()
+	case body.Algorithm == AuthSharedKey && body.Seq == 4:
+		s.sendAssocReq()
+	}
+}
+
+func (s *STA) sendAssocReq() {
+	s.state = StateAssociating
+	body := AssocReqBody{Capability: CapESS, SSID: s.cfg.SSID}
+	s.transmit(Frame{
+		Type: TypeManagement, Subtype: SubtypeAssocReq,
+		Addr1: s.bss.BSSID, Addr2: s.cfg.MAC, Addr3: s.bss.BSSID,
+		Body: body.Marshal(),
+	})
+	s.armStepTimeout()
+}
+
+func (s *STA) onAssocResp(f Frame) {
+	if s.state != StateAssociating || f.Addr2 != s.bss.BSSID {
+		return
+	}
+	body, err := UnmarshalAssocRespBody(f.Body)
+	if err != nil {
+		return
+	}
+	if body.Status != StatusSuccess {
+		s.Connect()
+		return
+	}
+	if s.stepTimeout != nil {
+		s.stepTimeout.Cancel()
+	}
+	s.state = StateAssociated
+	s.AssocCount++
+	s.lastBeacon = s.kernel.Now()
+	s.armBeaconCheck()
+	if s.OnAssociate != nil {
+		s.OnAssociate(s.bss)
+	}
+}
+
+func (s *STA) armBeaconCheck() {
+	interval := sim.Time(s.bss.BeaconInterval) * TU
+	if interval == 0 {
+		interval = 100 * TU
+	}
+	s.beaconCheck = s.kernel.After(interval, func() {
+		if s.state != StateAssociated {
+			return
+		}
+		if s.kernel.Now()-s.lastBeacon > s.cfg.BeaconLossTimeout {
+			s.disconnect("beacon loss")
+			return
+		}
+		s.armBeaconCheck()
+	})
+}
+
+func (s *STA) disconnect(reason string) {
+	s.Disconnects++
+	s.state = StateIdle
+	s.cancelTimers()
+	if s.OnDisconnect != nil {
+		s.OnDisconnect(reason)
+	}
+	if !s.cfg.DisableReconnect && !s.stopped {
+		s.Connect()
+	}
+}
+
+func (s *STA) onData(f Frame) {
+	if s.state != StateAssociated || !f.FromDS || f.Addr2 != s.bss.BSSID {
+		return
+	}
+	if f.Addr3 == s.cfg.MAC {
+		return // our own broadcast echoed back by the AP
+	}
+	body := f.Body
+	if f.Protected {
+		if s.cfg.WEPKey == nil {
+			return
+		}
+		plain, err := wep.Open(s.cfg.WEPKey, body)
+		if err != nil {
+			s.RxICVFailures++
+			return
+		}
+		body = plain
+	} else if s.cfg.WEPKey != nil && s.bss.Privacy() {
+		return // network requires WEP; drop cleartext
+	}
+	t, payload, err := DecapsulateLLC(body)
+	if err != nil {
+		return
+	}
+	if s.nic.recv != nil {
+		s.nic.recv(ethernet.Frame{Dst: f.Addr1, Src: f.Addr3, Type: t, Payload: payload})
+	}
+}
+
+// sendData transmits a ToDS data frame to the AP.
+func (s *STA) sendData(dst ethernet.MAC, t ethernet.EtherType, payload []byte) {
+	if s.state != StateAssociated {
+		return
+	}
+	body := EncapsulateLLC(t, payload)
+	protected := false
+	if s.cfg.WEPKey != nil {
+		body = sealBody(s.cfg.WEPKey, s.cfg.IVSource, body)
+		protected = true
+	}
+	s.transmit(Frame{
+		Type: TypeData, Subtype: SubtypeDataFrame, ToDS: true, Protected: protected,
+		Addr1: s.bss.BSSID, Addr2: s.cfg.MAC, Addr3: dst,
+		Body: body,
+	})
+}
+
+// staNIC adapts the station to the ethernet.NIC interface.
+type staNIC struct {
+	sta  *STA
+	recv ethernet.Receiver
+}
+
+func (n *staNIC) HWAddr() ethernet.MAC            { return n.sta.cfg.MAC }
+func (n *staNIC) MTU() int                        { return ethernet.DefaultMTU }
+func (n *staNIC) SetReceiver(r ethernet.Receiver) { n.recv = r }
+func (n *staNIC) Send(dst ethernet.MAC, t ethernet.EtherType, payload []byte) {
+	n.sta.sendData(dst, t, payload)
+}
+
+var _ ethernet.NIC = (*staNIC)(nil)

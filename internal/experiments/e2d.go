@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// E2dHostileHotspot (§1.2.2): the paper's second deployment class. No rogue
+// hardware, nothing anomalous on the air — the hotspot operator IS the
+// attacker, so AP-side defenses and rogue detection are definitionally
+// useless, and only the client-side VPN policy survives.
+func E2dHostileHotspot(s Scale) Table {
+	t := Table{
+		ID:    "E2d",
+		Title: "Hostile hotspot (§1.2.2): the operator is the attacker",
+		Columns: []string{"hotspot / victim policy", "download clean",
+			"victim compromised"},
+		Notes: []string{
+			"the hotspot's gateway runs the same DNAT+netsed MITM as the rogue kit — but it is the legitimate gateway",
+			"no rogue AP exists: §2.3's detection techniques have nothing to find",
+		},
+	}
+	type scenario struct {
+		name    string
+		hostile bool
+		vpn     bool
+	}
+	scenarios := []scenario{
+		{"honest hotspot, no VPN", false, false},
+		{"hostile hotspot, no VPN", true, false},
+		{"hostile hotspot, full VPN home", true, true},
+	}
+	for _, sc := range scenarios {
+		results := core.Sweep(core.Seeds(31, s.trials()), func(seed uint64) core.DownloadResult {
+			h := core.NewHotspot(core.HotspotConfig{
+				Seed: seed, Hostile: sc.hostile, VPNServer: sc.vpn,
+			})
+			h.VictimConnect()
+			h.Run(10 * sim.Second)
+			if sc.vpn {
+				up := false
+				h.EnableVictimVPN(func(err error) { up = err == nil })
+				h.Run(20 * sim.Second)
+				if !up {
+					return core.DownloadResult{Err: errNoTunnel}
+				}
+			}
+			var res core.DownloadResult
+			h.VictimDownload(func(r core.DownloadResult) { res = r })
+			h.Run(60 * sim.Second)
+			return res
+		})
+		var clean, comp []bool
+		for _, r := range results {
+			clean = append(clean, r.Clean())
+			comp = append(comp, r.Compromised())
+		}
+		t.AddRow(sc.name, pct(core.Fraction(clean)), pct(core.Fraction(comp)))
+	}
+	return t
+}
+
+// errNoTunnel marks a failed tunnel bring-up in sweeps.
+var errNoTunnel = errTunnel{}
+
+type errTunnel struct{}
+
+func (errTunnel) Error() string { return "vpn never came up" }

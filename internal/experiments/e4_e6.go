@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/wep"
+)
+
+// E2bBoundary (§4.2): "netsed will not match strings that cross packet
+// boundaries". We place the pattern at controlled offsets relative to the
+// TCP segment boundary and compare original (chunk) netsed against the
+// boundary-safe streaming rewriter.
+func E2bBoundary(s Scale) Table {
+	t := Table{
+		ID:    "E2b",
+		Title: "netsed segment-boundary limitation and the streaming fix (§4.2)",
+		Columns: []string{"pattern position vs MSS boundary",
+			"chunk-mode replaced", "streaming replaced"},
+		Notes: []string{
+			"pattern is a 32-char MD5 digest; MSS = 1460 bytes",
+			"offsets that fit entirely in one segment always match; straddling offsets only match in streaming mode",
+		},
+	}
+	const mss = 1460
+	pattern := "0123456789abcdef0123456789abcdef" // stand-in digest
+	replacement := "ffffffffffffffffffffffffffffffff"
+	// Offsets of the pattern start relative to the first boundary.
+	cases := []struct {
+		name  string
+		start int
+	}{
+		{"well inside segment 1", mss - 400},
+		{"ends exactly at boundary", mss - len(pattern)},
+		{"straddles boundary by 1", mss - len(pattern) + 1},
+		{"straddles boundary by 16", mss - 16},
+		{"starts exactly at boundary", mss},
+		{"well inside segment 2", mss + 400},
+	}
+	for _, c := range cases {
+		run := func(streaming bool) bool {
+			body := bytes.Repeat([]byte("x"), c.start)
+			body = append(body, pattern...)
+			body = append(body, bytes.Repeat([]byte("y"), 600)...)
+			got := proxyOnce(body, "s/"+pattern+"/"+replacement, streaming)
+			return bytes.Contains(got, []byte(replacement))
+		}
+		t.AddRow(c.name, yes(run(false)), yes(run(true)))
+	}
+	return t
+}
+
+func yes(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "MISSED"
+}
+
+// E4FMSCrack (§2.1 / §4): Airsnort-style WEP key recovery. We count the
+// weak-IV frames the cracker needs and report the implied total capture for
+// a random-IV network (weak fraction = keylen·256 / 2^24).
+func E4FMSCrack(s Scale) Table {
+	t := Table{
+		ID:      "E4",
+		Title:   "FMS/Airsnort WEP key recovery cost (§4: 'retrieved the WEP key via Airsnort')",
+		Columns: []string{"key", "IV policy", "weak frames used", "implied total frames", "recovered"},
+		Notes: []string{
+			"implied total = weak frames ÷ weak-IV fraction of random-IV traffic",
+			"'weak-avoiding' is the later-firmware mitigation: FMS starves (ablation)",
+		},
+	}
+	type kcase struct {
+		name string
+		key  wep.Key
+	}
+	keys := []kcase{{"40-bit", wep.Key40FromString("SECRE")}}
+	if !s.Quick {
+		keys = append(keys, kcase{"104-bit", wep.Key([]byte("thirteenbytes"))})
+	}
+	for _, kc := range keys {
+		weakUsed, ok := fmsCost(kc.key)
+		frac := float64(len(kc.key)*256) / float64(1<<24)
+		implied := float64(weakUsed) / frac
+		t.AddRow(kc.name, "sequential/random", weakUsed, fmt.Sprintf("%.2g", implied), yes(ok))
+	}
+	// Ablation: weak-avoiding IVs.
+	c := wep.NewCracker(wep.KeySize40)
+	src := &wep.WeakAvoidingIV{KeyLen: wep.KeySize40}
+	key := wep.Key40FromString("SECRE")
+	for i := 0; i < 200000; i++ {
+		iv := src.NextIV()
+		c.AddSample(wep.Sample{IV: iv, K0: wep.FirstKeystreamByte(key, iv)})
+	}
+	_, err := c.RecoverKey()
+	t.AddRow("40-bit", "weak-avoiding", c.WeakFrames, "∞ (no weak IVs)", yes(err == nil))
+	return t
+}
+
+// fmsCost feeds weak IVs in random order until the key recovers, returning
+// the number of weak frames consumed.
+func fmsCost(key wep.Key) (int, bool) {
+	c := wep.NewCracker(len(key))
+	ref := wep.Seal(key, wep.IV{200, 1, 1}, 0, []byte("verification frame"))
+	c.Verify = func(k wep.Key) bool {
+		_, err := wep.Open(k, ref)
+		return err == nil
+	}
+	rng := sim.NewRNG(4)
+	// Random order over the weak-IV space, possibly with repeats — like
+	// sniffing a random-IV network, but skipping the strong frames.
+	used := 0
+	for used < len(key)*256*4 {
+		for i := 0; i < 64; i++ {
+			b := rng.Intn(len(key))
+			iv := wep.IV{byte(b + 3), 255, byte(rng.Intn(256))}
+			c.AddSample(wep.Sample{IV: iv, K0: wep.FirstKeystreamByte(key, iv)})
+			used++
+		}
+		if got, err := c.RecoverKey(); err == nil && bytes.Equal(got, key) {
+			return used, true
+		}
+	}
+	return used, false
+}
+
+// E6TCPoverTCP (§5.3): the PPP-over-SSH drawback — a TCP-carried tunnel
+// under wireless loss versus a UDP carrier. We push the victim toward the
+// edge of the cell and download a file through each tunnel.
+func E6TCPoverTCP(s Scale) Table {
+	t := Table{
+		ID:    "E6",
+		Title: "VPN carrier under wireless loss: TCP-in-TCP vs UDP (§5.3)",
+		Columns: []string{"victim distance (m)", "carrier", "download time (s)",
+			"goodput (kB/s)", "outer TCP retransmits"},
+		Notes: []string{
+			"the paper's PPP-over-SSH is the TCP carrier; 'any UDP traffic is subject to unnecessary retransmission by TCP'",
+			"at the cell edge the stacked retransmission loops of TCP-in-TCP collapse goodput",
+		},
+	}
+	const fileSize = 150_000
+	distances := []float64{20, 86, 90}
+	if s.Quick {
+		distances = []float64{20, 90}
+	}
+	type point struct {
+		dist float64
+		udp  bool
+		seed uint64
+	}
+	var points []point
+	for _, d := range distances {
+		for _, udp := range []bool{false, true} {
+			for _, seed := range core.Seeds(uint64(d)*7, s.trials()) {
+				points = append(points, point{d, udp, seed})
+			}
+		}
+	}
+	type out struct {
+		stage   string // "no-assoc", "no-tunnel", "stalled", "ok"
+		seconds float64
+		retx    uint64
+	}
+	results := core.Sweep(points, func(p point) out {
+		carrier := vpnCarrier(p.udp)
+		cfg := core.Config{
+			Seed: p.seed, VPNServer: true, VPNCarrier: carrier,
+			VictimPos:        phyPos(p.dist),
+			ShadowingSigmaDB: 3,
+			FileContents:     bytes.Repeat([]byte("payload-"), fileSize/8),
+		}
+		w := core.NewWorld(cfg)
+		w.VictimConnect()
+		w.Run(15 * sim.Second)
+		if !w.VictimAssociated() {
+			return out{stage: "no-assoc"}
+		}
+		up := false
+		w.EnableVictimVPN(nil, func(err error) { up = err == nil })
+		w.Run(30 * sim.Second)
+		if !up {
+			return out{stage: "no-tunnel"}
+		}
+		start := w.Kernel.Now()
+		var res core.DownloadResult
+		var doneAt sim.Time
+		done := false
+		w.VictimDownload(func(r core.DownloadResult) { res = r; done = true; doneAt = w.Kernel.Now() })
+		w.Run(4 * sim.Minute)
+		if !done || res.Err != nil || !res.Clean() {
+			return out{stage: "stalled", retx: w.Victim.TCP.Retransmits}
+		}
+		return out{stage: "ok", seconds: (doneAt - start).Seconds(), retx: w.Victim.TCP.Retransmits}
+	})
+	i := 0
+	for _, d := range distances {
+		for _, udp := range []bool{false, true} {
+			var times []float64
+			var retx uint64
+			stalled := 0
+			for n := 0; n < s.trials(); n++ {
+				r := results[i]
+				i++
+				switch r.stage {
+				case "ok":
+					times = append(times, r.seconds)
+					retx += r.retx
+				case "stalled":
+					stalled++
+					retx += r.retx
+				}
+			}
+			carrier := "TCP (PPP/SSH)"
+			if udp {
+				carrier = "UDP"
+			}
+			if len(times) == 0 {
+				t.AddRow(d, carrier, fmt.Sprintf("stalled (%d/%d)", stalled, s.trials()), "-", retx)
+				continue
+			}
+			mean := core.Mean(times)
+			label := fmt.Sprintf("%.2f", mean)
+			if stalled > 0 {
+				label += fmt.Sprintf(" (+%d stalled)", stalled)
+			}
+			goodput := float64(fileSize) / mean / 1000
+			t.AddRow(d, carrier, label, fmt.Sprintf("%.1f", goodput), retx)
+		}
+	}
+	return t
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny is the smallest meaningful scale for CI-speed smoke tests.
+var tiny = Scale{Trials: 2, Quick: true}
+
+func mustCell(t *testing.T, tbl Table, row, col int) string {
+	t.Helper()
+	if row >= len(tbl.Rows) || col >= len(tbl.Rows[row]) {
+		t.Fatalf("%s: no cell (%d,%d) in %v", tbl.ID, row, col, tbl.Rows)
+	}
+	return tbl.Rows[row][col]
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}}
+	tbl.AddRow("1", 2.0)
+	tbl.AddRow("longer", "cells")
+	out := tbl.String()
+	if !strings.Contains(out, "== X: demo ==") || !strings.Contains(out, "longer") {
+		t.Fatalf("rendered:\n%s", out)
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	tbl := E1AssociationCapture(tiny)
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Closest rogue (2 m, huge advantage): passive capture must be 100%.
+	if got := mustCell(t, tbl, 0, 2); got != "100%" {
+		t.Fatalf("close-rogue passive capture = %q", got)
+	}
+	// Far rogue (80 m, negative advantage): passive capture must be 0%.
+	if got := mustCell(t, tbl, 5, 2); got != "0%" {
+		t.Fatalf("far-rogue passive capture = %q", got)
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tbl := E2DownloadMITM(tiny)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for i := range tbl.Rows {
+		if got := mustCell(t, tbl, i, 1); got != "100%" {
+			t.Fatalf("row %d (%s): compromised = %q, want 100%%", i, tbl.Rows[i][0], got)
+		}
+	}
+}
+
+func TestE2bShape(t *testing.T) {
+	tbl := E2bBoundary(tiny)
+	sawMiss, sawStreamAlwaysYes := false, true
+	for _, r := range tbl.Rows {
+		if r[1] == "MISSED" {
+			sawMiss = true
+		}
+		if r[2] != "yes" {
+			sawStreamAlwaysYes = false
+		}
+	}
+	if !sawMiss {
+		t.Fatalf("chunk mode never missed a straddling pattern:\n%s", tbl.String())
+	}
+	if !sawStreamAlwaysYes {
+		t.Fatalf("streaming mode missed a pattern:\n%s", tbl.String())
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tbl := E3VPNDefense(tiny)
+	// no VPN: compromised; full VPN: clean; tampered tunnel: clean AND
+	// detected; split: compromised.
+	if mustCell(t, tbl, 0, 1) != "100%" {
+		t.Fatalf("no-VPN compromised = %q", mustCell(t, tbl, 0, 1))
+	}
+	if mustCell(t, tbl, 1, 1) != "0%" || mustCell(t, tbl, 1, 2) != "100%" {
+		t.Fatalf("full-VPN row wrong: %v", tbl.Rows[1])
+	}
+	if mustCell(t, tbl, 2, 1) != "0%" {
+		t.Fatalf("tampered-tunnel compromised = %q", mustCell(t, tbl, 2, 1))
+	}
+	if mustCell(t, tbl, 2, 3) == "0" {
+		t.Fatalf("tampering not detected: %v", tbl.Rows[2])
+	}
+	if mustCell(t, tbl, 3, 1) != "100%" {
+		t.Fatalf("split-tunnel compromised = %q", mustCell(t, tbl, 3, 1))
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tbl := E4FMSCrack(tiny)
+	if mustCell(t, tbl, 0, 4) != "yes" {
+		t.Fatalf("40-bit key not recovered:\n%s", tbl.String())
+	}
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[4] != "MISSED" {
+		t.Fatalf("weak-avoiding ablation recovered a key?! %v", last)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tbl := E5MACFilterBypass(tiny)
+	if mustCell(t, tbl, 0, 1) != "0%" {
+		t.Fatalf("unlisted MAC associated: %v", tbl.Rows)
+	}
+	if mustCell(t, tbl, 1, 1) != "100%" {
+		t.Fatalf("cloned MAC rejected: %v", tbl.Rows)
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tbl := E7Detection(tiny)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Cloned-BSSID rogue must be detected.
+	if mustCell(t, tbl, 0, 2) == "0%" {
+		t.Fatalf("cloned rogue undetected:\n%s", tbl.String())
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tbl := E8Eavesdrop(tiny)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Open cell: wireless recovers the file, switched wire captures nothing.
+	if mustCell(t, tbl, 0, 2) != "yes" {
+		t.Fatalf("wireless sniffer could not recover the file: %v", tbl.Rows[0])
+	}
+	if mustCell(t, tbl, 1, 1) != "0 / 0" || mustCell(t, tbl, 1, 2) == "yes" {
+		t.Fatalf("switched wired sniffer saw traffic: %v", tbl.Rows[1])
+	}
+	// WEP cell: opaque without the key, transparent with it.
+	if mustCell(t, tbl, 2, 2) == "yes" {
+		t.Fatalf("WEP capture readable without the key: %v", tbl.Rows[2])
+	}
+	if mustCell(t, tbl, 3, 2) != "yes" {
+		t.Fatalf("WEP capture not readable with the key: %v", tbl.Rows[3])
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	tbl := E9Overhead(tiny)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if r[1] == "failed" {
+			t.Fatalf("scenario %q failed:\n%s", r[0], tbl.String())
+		}
+	}
+}
+
+func TestE2cShape(t *testing.T) {
+	tbl := E2cContentInjection(tiny)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// No VPN: page loads, script injected, rest of the page untouched.
+	if mustCell(t, tbl, 0, 1) != "100%" || mustCell(t, tbl, 0, 2) != "100%" || mustCell(t, tbl, 0, 3) != "100%" {
+		t.Fatalf("no-VPN row: %v", tbl.Rows[0])
+	}
+	// Full VPN: loads, NO injection.
+	if mustCell(t, tbl, 1, 1) != "100%" || mustCell(t, tbl, 1, 2) != "0%" {
+		t.Fatalf("VPN row: %v", tbl.Rows[1])
+	}
+}
+
+func TestE2dShape(t *testing.T) {
+	tbl := E2dHostileHotspot(tiny)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	if mustCell(t, tbl, 0, 1) != "100%" || mustCell(t, tbl, 0, 2) != "0%" {
+		t.Fatalf("honest hotspot row: %v", tbl.Rows[0])
+	}
+	if mustCell(t, tbl, 1, 2) != "100%" {
+		t.Fatalf("hostile hotspot did not compromise: %v", tbl.Rows[1])
+	}
+	if mustCell(t, tbl, 2, 1) != "100%" || mustCell(t, tbl, 2, 2) != "0%" {
+		t.Fatalf("VPN row: %v", tbl.Rows[2])
+	}
+}

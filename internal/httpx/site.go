@@ -1,0 +1,77 @@
+package httpx
+
+import (
+	"crypto/md5"
+	"fmt"
+	"regexp"
+)
+
+// DownloadSite generates the paper's target: a software-download page with a
+// link to a tarball and its published MD5 sum, "intended to verify that
+// package was downloaded properly" (§4.1).
+type DownloadSite struct {
+	// FileName is the advertised artifact (the paper's file.tgz).
+	FileName string
+	// Contents is the genuine file body.
+	Contents []byte
+}
+
+// MD5Hex returns the published checksum of the genuine file.
+func (d *DownloadSite) MD5Hex() string {
+	sum := md5.Sum(d.Contents)
+	return fmt.Sprintf("%x", sum)
+}
+
+// PageHTML renders the download page.
+func (d *DownloadSite) PageHTML() []byte {
+	// The footer matters to the reproduction: netsed's link rewrite grows
+	// the body past the Content-Length header, so the victim's client
+	// truncates the tail. Real download pages have trailing boilerplate
+	// that absorbs the cut; without it the truncation would eat the MD5SUM
+	// line and give the attack away.
+	return []byte(fmt.Sprintf(
+		"<html><head><title>Download %s</title></head><body>\n"+
+			"<h1>Download</h1>\n"+
+			"<p><a href=%s>%s</a></p>\n"+
+			"<p>MD5SUM: %s</p>\n"+
+			"<p>Thank you for using our mirror. Please verify your download.</p>\n"+
+			"</body></html>\n",
+		d.FileName, d.FileName, d.FileName, d.MD5Hex()))
+}
+
+// Install registers the page and the file on a server.
+func (d *DownloadSite) Install(s *Server) {
+	s.Handle("/", func(req *Request) *Response {
+		return NewResponse(200, "text/html", d.PageHTML())
+	})
+	s.Handle("/"+d.FileName, func(req *Request) *Response {
+		return NewResponse(200, "application/octet-stream", d.Contents)
+	})
+}
+
+var (
+	hrefRE = regexp.MustCompile(`href=([^ >"']+)`)
+	md5RE  = regexp.MustCompile(`MD5SUM: ([0-9a-f]{32})`)
+)
+
+// ParseDownloadPage extracts the link target and published MD5 from a
+// download page — the victim reading the page.
+func ParseDownloadPage(html []byte) (href, md5hex string, err error) {
+	h := hrefRE.FindSubmatch(html)
+	if h == nil {
+		return "", "", fmt.Errorf("httpx: no href on page")
+	}
+	m := md5RE.FindSubmatch(html)
+	if m == nil {
+		return "", "", fmt.Errorf("httpx: no MD5SUM on page")
+	}
+	return string(h[1]), string(m[1]), nil
+}
+
+// MD5Matches checks a downloaded body against a published hex digest — the
+// victim running md5sum. The attack's punchline is that this check passes
+// on the trojaned file because the page's digest was rewritten too.
+func MD5Matches(body []byte, md5hex string) bool {
+	sum := md5.Sum(body)
+	return fmt.Sprintf("%x", sum) == md5hex
+}

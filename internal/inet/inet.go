@@ -1,0 +1,209 @@
+// Package inet holds the small shared vocabulary of internet types used by
+// every layer of the simulated stack: IPv4 addresses, CIDR prefixes, ports,
+// and the ones-complement checksum. Keeping these in a leaf package lets
+// ethernet, arp, ipv4, tcp and udp share them without import cycles.
+package inet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address in network byte order.
+type Addr [4]byte
+
+// Unspecified is the zero address 0.0.0.0.
+var Unspecified = Addr{}
+
+// Broadcast is the limited broadcast address 255.255.255.255.
+var Broadcast = Addr{255, 255, 255, 255}
+
+// MustParseAddr parses a dotted-quad address, panicking on error. Intended
+// for constants in tests and topology builders.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// ParseAddr parses a dotted-quad IPv4 address.
+func ParseAddr(s string) (Addr, error) {
+	var a Addr
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return a, fmt.Errorf("inet: bad address %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 || (len(p) > 1 && p[0] == '0') {
+			return a, fmt.Errorf("inet: bad address %q", s)
+		}
+		a[i] = byte(v)
+	}
+	return a, nil
+}
+
+// String formats the address as a dotted quad.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// IsUnspecified reports whether a is 0.0.0.0.
+func (a Addr) IsUnspecified() bool { return a == Unspecified }
+
+// IsBroadcast reports whether a is 255.255.255.255.
+func (a Addr) IsBroadcast() bool { return a == Broadcast }
+
+// IsMulticast reports whether a is in 224.0.0.0/4.
+func (a Addr) IsMulticast() bool { return a[0] >= 224 && a[0] < 240 }
+
+// Uint32 returns the address as a big-endian integer.
+func (a Addr) Uint32() uint32 {
+	return uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+}
+
+// AddrFromUint32 builds an address from a big-endian integer.
+func AddrFromUint32(v uint32) Addr {
+	return Addr{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+// Next returns the numerically following address (useful for allocators).
+func (a Addr) Next() Addr { return AddrFromUint32(a.Uint32() + 1) }
+
+// Prefix is a CIDR prefix: a network address and a mask length.
+type Prefix struct {
+	Addr Addr
+	Bits int
+}
+
+// MustParsePrefix parses "a.b.c.d/n", panicking on error.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses CIDR notation "a.b.c.d/n". The address is canonicalised
+// to the network address (host bits cleared).
+func ParsePrefix(s string) (Prefix, error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return Prefix{}, fmt.Errorf("inet: bad prefix %q", s)
+	}
+	a, err := ParseAddr(s[:i])
+	if err != nil {
+		return Prefix{}, err
+	}
+	bits, err := strconv.Atoi(s[i+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("inet: bad prefix length in %q", s)
+	}
+	p := Prefix{Addr: a, Bits: bits}
+	p.Addr = AddrFromUint32(a.Uint32() & p.maskUint32())
+	return p, nil
+}
+
+func (p Prefix) maskUint32() uint32 {
+	if p.Bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - p.Bits)
+}
+
+// Mask returns the netmask as an address.
+func (p Prefix) Mask() Addr { return AddrFromUint32(p.maskUint32()) }
+
+// Contains reports whether a is inside the prefix.
+func (p Prefix) Contains(a Addr) bool {
+	return a.Uint32()&p.maskUint32() == p.Addr.Uint32()
+}
+
+// BroadcastAddr returns the directed-broadcast address of the prefix.
+func (p Prefix) BroadcastAddr() Addr {
+	return AddrFromUint32(p.Addr.Uint32() | ^p.maskUint32())
+}
+
+// String formats the prefix in CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%s/%d", p.Addr, p.Bits) }
+
+// Port is a TCP or UDP port number.
+type Port uint16
+
+// String formats the port in decimal.
+func (p Port) String() string { return strconv.Itoa(int(p)) }
+
+// HostPort is an (address, port) endpoint.
+type HostPort struct {
+	Addr Addr
+	Port Port
+}
+
+// String formats the endpoint as "addr:port".
+func (hp HostPort) String() string { return hp.Addr.String() + ":" + hp.Port.String() }
+
+// ParseHostPort parses "a.b.c.d:port".
+func ParseHostPort(s string) (HostPort, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return HostPort{}, fmt.Errorf("inet: bad host:port %q", s)
+	}
+	a, err := ParseAddr(s[:i])
+	if err != nil {
+		return HostPort{}, err
+	}
+	p, err := strconv.Atoi(s[i+1:])
+	if err != nil || p < 0 || p > 65535 {
+		return HostPort{}, fmt.Errorf("inet: bad port in %q", s)
+	}
+	return HostPort{Addr: a, Port: Port(p)}, nil
+}
+
+// MustParseHostPort parses "a.b.c.d:port", panicking on error.
+func MustParseHostPort(s string) HostPort {
+	hp, err := ParseHostPort(s)
+	if err != nil {
+		panic(err)
+	}
+	return hp
+}
+
+// Checksum computes the RFC 1071 ones-complement checksum over b.
+func Checksum(b []byte) uint16 {
+	return FinishChecksum(SumBytes(0, b))
+}
+
+// SumBytes accumulates bytes into a partial ones-complement sum. Use with
+// FinishChecksum for multi-slice checksums (e.g. pseudo-header + segment).
+func SumBytes(sum uint32, b []byte) uint32 {
+	n := len(b)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(b[n-1]) << 8
+	}
+	return sum
+}
+
+// FinishChecksum folds and complements a partial sum.
+func FinishChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// PseudoHeaderSum computes the TCP/UDP pseudo-header partial sum.
+func PseudoHeaderSum(src, dst Addr, proto uint8, length uint16) uint32 {
+	var sum uint32
+	sum = SumBytes(sum, src[:])
+	sum = SumBytes(sum, dst[:])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}

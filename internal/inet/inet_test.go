@@ -1,0 +1,219 @@
+package inet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddrValid(t *testing.T) {
+	cases := map[string]Addr{
+		"0.0.0.0":         {0, 0, 0, 0},
+		"10.0.0.1":        {10, 0, 0, 1},
+		"192.168.1.254":   {192, 168, 1, 254},
+		"255.255.255.255": {255, 255, 255, 255},
+	}
+	for s, want := range cases {
+		got, err := ParseAddr(s)
+		if err != nil {
+			t.Errorf("ParseAddr(%q) error: %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseAddr(%q) = %v, want %v", s, got, want)
+		}
+		if got.String() != s {
+			t.Errorf("String() = %q, want %q", got.String(), s)
+		}
+	}
+}
+
+func TestParseAddrInvalid(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "-1.0.0.0", "a.b.c.d", "01.2.3.4", "1..2.3"} {
+		if _, err := ParseAddr(s); err == nil {
+			t.Errorf("ParseAddr(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestMustParseAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseAddr did not panic on bad input")
+		}
+	}()
+	MustParseAddr("not an address")
+}
+
+func TestAddrPredicates(t *testing.T) {
+	if !Unspecified.IsUnspecified() {
+		t.Error("Unspecified")
+	}
+	if !Broadcast.IsBroadcast() {
+		t.Error("Broadcast")
+	}
+	if !MustParseAddr("224.0.0.1").IsMulticast() {
+		t.Error("multicast low")
+	}
+	if !MustParseAddr("239.255.255.255").IsMulticast() {
+		t.Error("multicast high")
+	}
+	if MustParseAddr("240.0.0.1").IsMulticast() {
+		t.Error("240/4 is not multicast")
+	}
+	if MustParseAddr("10.0.0.1").IsMulticast() {
+		t.Error("unicast flagged multicast")
+	}
+}
+
+func TestAddrUint32RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		return AddrFromUint32(v).Uint32() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddrNext(t *testing.T) {
+	if MustParseAddr("10.0.0.255").Next() != MustParseAddr("10.0.1.0") {
+		t.Error("Next across octet boundary")
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/24")
+	if p.String() != "10.0.0.0/24" {
+		t.Errorf("String = %q", p)
+	}
+	if !p.Contains(MustParseAddr("10.0.0.200")) {
+		t.Error("Contains inside")
+	}
+	if p.Contains(MustParseAddr("10.0.1.1")) {
+		t.Error("Contains outside")
+	}
+	if p.Mask() != MustParseAddr("255.255.255.0") {
+		t.Errorf("Mask = %v", p.Mask())
+	}
+	if p.BroadcastAddr() != MustParseAddr("10.0.0.255") {
+		t.Errorf("BroadcastAddr = %v", p.BroadcastAddr())
+	}
+}
+
+func TestParsePrefixCanonicalises(t *testing.T) {
+	p := MustParsePrefix("10.0.0.77/24")
+	if p.Addr != MustParseAddr("10.0.0.0") {
+		t.Errorf("host bits not cleared: %v", p.Addr)
+	}
+}
+
+func TestPrefixZeroBitsContainsEverything(t *testing.T) {
+	p := MustParsePrefix("0.0.0.0/0")
+	for _, s := range []string{"0.0.0.0", "10.1.2.3", "255.255.255.255"} {
+		if !p.Contains(MustParseAddr(s)) {
+			t.Errorf("/0 does not contain %s", s)
+		}
+	}
+}
+
+func TestPrefix32IsExactMatch(t *testing.T) {
+	p := MustParsePrefix("10.0.0.1/32")
+	if !p.Contains(MustParseAddr("10.0.0.1")) {
+		t.Error("exact miss")
+	}
+	if p.Contains(MustParseAddr("10.0.0.2")) {
+		t.Error("inexact hit")
+	}
+}
+
+func TestParsePrefixInvalid(t *testing.T) {
+	for _, s := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "x/24", "10.0.0.0/x"} {
+		if _, err := ParsePrefix(s); err == nil {
+			t.Errorf("ParsePrefix(%q) succeeded", s)
+		}
+	}
+}
+
+func TestHostPort(t *testing.T) {
+	hp := MustParseHostPort("10.0.0.1:8080")
+	if hp.Addr != MustParseAddr("10.0.0.1") || hp.Port != 8080 {
+		t.Errorf("parsed %v", hp)
+	}
+	if hp.String() != "10.0.0.1:8080" {
+		t.Errorf("String = %q", hp.String())
+	}
+	for _, s := range []string{"10.0.0.1", "10.0.0.1:99999", "10.0.0.1:x", "x:80"} {
+		if _, err := ParseHostPort(s); err == nil {
+			t.Errorf("ParseHostPort(%q) succeeded", s)
+		}
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Classic example from RFC 1071 materials.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	got := Checksum(data)
+	want := ^uint16(0xddf2)
+	if got != want {
+		t.Fatalf("Checksum = %#x, want %#x", got, want)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Odd length pads with a zero byte.
+	if Checksum([]byte{0xab}) != Checksum([]byte{0xab, 0x00}) {
+		t.Fatal("odd-length padding mismatch")
+	}
+}
+
+func TestChecksumEmptyIsAllOnes(t *testing.T) {
+	if Checksum(nil) != 0xffff {
+		t.Fatalf("Checksum(nil) = %#x", Checksum(nil))
+	}
+}
+
+// Property: a packet whose checksum field contains the computed checksum
+// verifies to zero — the standard IP header validity check.
+func TestQuickChecksumVerifies(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		c := Checksum(data)
+		withSum := append(append([]byte{}, data...), byte(c>>8), byte(c))
+		return Checksum(withSum) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSumBytesSplitEqualsWhole(t *testing.T) {
+	f := func(a, b []byte) bool {
+		whole := SumBytes(0, append(append([]byte{}, a...), b...))
+		// Splitting is only sum-equivalent on even boundaries.
+		if len(a)%2 == 1 {
+			a = append(a, 0)
+			whole = SumBytes(0, append(append([]byte{}, a...), b...))
+		}
+		split := SumBytes(SumBytes(0, a), b)
+		return FinishChecksum(whole) == FinishChecksum(split)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPseudoHeaderSum(t *testing.T) {
+	src := MustParseAddr("10.0.0.1")
+	dst := MustParseAddr("10.0.0.2")
+	s1 := PseudoHeaderSum(src, dst, 6, 20)
+	s2 := PseudoHeaderSum(src, dst, 6, 21)
+	if s1 == s2 {
+		t.Fatal("length not included in pseudo-header")
+	}
+	s3 := PseudoHeaderSum(dst, src, 6, 20)
+	if FinishChecksum(s1) != FinishChecksum(s3) {
+		// src/dst swap keeps the same sum (commutative); this documents it.
+		t.Fatal("pseudo-header sum should be commutative in addresses")
+	}
+}

@@ -1,0 +1,105 @@
+// Package ipv4 implements the simulated network layer: IPv4 packets, per-host
+// stacks with interfaces and a longest-prefix routing table, forwarding with
+// TTL handling, ICMP echo, and the hook points a Netfilter-style firewall
+// (internal/netfilter) plugs into.
+package ipv4
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/inet"
+)
+
+// Protocol numbers.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// HeaderLen is the fixed header size (no options are modelled).
+const HeaderLen = 20
+
+// DefaultTTL is the initial hop limit for locally originated packets.
+const DefaultTTL = 64
+
+// Packet is a parsed IPv4 packet. NAT rewrites Src/Dst in place; Marshal
+// recomputes the header checksum.
+type Packet struct {
+	TOS     uint8
+	ID      uint16
+	DF      bool
+	TTL     uint8
+	Proto   uint8
+	Src     inet.Addr
+	Dst     inet.Addr
+	Payload []byte
+}
+
+// Len reports the packet's total length.
+func (p *Packet) Len() int { return HeaderLen + len(p.Payload) }
+
+// Marshal serialises the packet with a fresh header checksum.
+func (p *Packet) Marshal() []byte {
+	b := make([]byte, p.Len())
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = p.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(p.Len()))
+	binary.BigEndian.PutUint16(b[4:6], p.ID)
+	if p.DF {
+		b[6] = 0x40
+	}
+	b[8] = p.TTL
+	b[9] = p.Proto
+	copy(b[12:16], p.Src[:])
+	copy(b[16:20], p.Dst[:])
+	sum := inet.Checksum(b[:HeaderLen])
+	binary.BigEndian.PutUint16(b[10:12], sum)
+	copy(b[HeaderLen:], p.Payload)
+	return b
+}
+
+// Unmarshal errors.
+var (
+	ErrShort       = errors.New("ipv4: short packet")
+	ErrBadVersion  = errors.New("ipv4: not IPv4")
+	ErrBadChecksum = errors.New("ipv4: header checksum mismatch")
+)
+
+// Unmarshal parses and validates a serialised packet. Payload aliases b.
+func Unmarshal(b []byte) (Packet, error) {
+	if len(b) < HeaderLen {
+		return Packet{}, ErrShort
+	}
+	if b[0]>>4 != 4 {
+		return Packet{}, ErrBadVersion
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < HeaderLen || len(b) < ihl {
+		return Packet{}, ErrShort
+	}
+	if inet.Checksum(b[:ihl]) != 0 {
+		return Packet{}, ErrBadChecksum
+	}
+	total := int(binary.BigEndian.Uint16(b[2:4]))
+	if total < ihl || total > len(b) {
+		return Packet{}, ErrShort
+	}
+	var p Packet
+	p.TOS = b[1]
+	p.ID = binary.BigEndian.Uint16(b[4:6])
+	p.DF = b[6]&0x40 != 0
+	p.TTL = b[8]
+	p.Proto = b[9]
+	copy(p.Src[:], b[12:16])
+	copy(p.Dst[:], b[16:20])
+	p.Payload = b[ihl:total]
+	return p, nil
+}
+
+// String gives a compact trace form.
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s > %s proto=%d ttl=%d len=%d", p.Src, p.Dst, p.Proto, p.TTL, p.Len())
+}

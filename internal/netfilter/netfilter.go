@@ -1,0 +1,464 @@
+// Package netfilter reproduces the slice of Linux Netfilter/iptables the
+// paper's attack uses: chain-based packet filtering and NAT with connection
+// tracking. The attack's key line (paper §4.1) is
+//
+//	iptables -t nat -A PREROUTING -p tcp -d Target-IP --dport 80 \
+//	         -j DNAT --to Gateway-IP:10101
+//
+// which redirects the victim's web traffic into the local netsed proxy.
+// ParseIptables accepts exactly that syntax so the examples can run the
+// paper's commands verbatim.
+package netfilter
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/inet"
+	"repro/internal/ipv4"
+)
+
+// Target is a rule's action.
+type Target int
+
+// Targets.
+const (
+	TargetAccept Target = iota
+	TargetDrop
+	TargetDNAT
+	TargetSNAT
+)
+
+// String names the target.
+func (t Target) String() string {
+	switch t {
+	case TargetAccept:
+		return "ACCEPT"
+	case TargetDrop:
+		return "DROP"
+	case TargetDNAT:
+		return "DNAT"
+	case TargetSNAT:
+		return "SNAT"
+	}
+	return "?"
+}
+
+// Match is a rule's match specification; zero-valued fields match anything.
+type Match struct {
+	Proto    uint8 // 0 = any
+	Src, Dst *inet.Prefix
+	SrcPort  inet.Port
+	DstPort  inet.Port
+	InIface  string
+	OutIface string
+}
+
+// Rule is one chain entry.
+type Rule struct {
+	Match  Match
+	Target Target
+	// NATTo is the DNAT/SNAT translation target. Port 0 keeps the original
+	// port.
+	NATTo inet.HostPort
+	// Counters.
+	Packets uint64
+	Bytes   uint64
+}
+
+// matches evaluates the rule against a packet.
+func (r *Rule) matches(pkt *ipv4.Packet, in, out string) bool {
+	m := &r.Match
+	if m.Proto != 0 && pkt.Proto != m.Proto {
+		return false
+	}
+	if m.Src != nil && !m.Src.Contains(pkt.Src) {
+		return false
+	}
+	if m.Dst != nil && !m.Dst.Contains(pkt.Dst) {
+		return false
+	}
+	if m.InIface != "" && m.InIface != in {
+		return false
+	}
+	if m.OutIface != "" && m.OutIface != out {
+		return false
+	}
+	if m.SrcPort != 0 || m.DstPort != 0 {
+		sp, dp, ok := transportPorts(pkt)
+		if !ok {
+			return false
+		}
+		if m.SrcPort != 0 && sp != m.SrcPort {
+			return false
+		}
+		if m.DstPort != 0 && dp != m.DstPort {
+			return false
+		}
+	}
+	return true
+}
+
+// flowKey identifies a transport flow for conntrack.
+type flowKey struct {
+	proto            uint8
+	src, dst         inet.Addr
+	srcPort, dstPort inet.Port
+}
+
+// natEntry records a translation applied to a flow.
+type natEntry struct {
+	// kind distinguishes DNAT from SNAT for reply handling.
+	kind Target
+	// orig is the pre-translation address (dst for DNAT, src for SNAT).
+	orig inet.HostPort
+	// to is the post-translation address.
+	to inet.HostPort
+}
+
+// Table is a host's firewall: five chains plus NAT conntrack. Install it
+// with stack.AddHook.
+type Table struct {
+	chains    map[ipv4.HookPoint][]*Rule
+	conntrack map[flowKey]natEntry
+	// translated marks packets conntrack already handled during the
+	// current traversal: NAT rules only ever see a flow's first packet
+	// (Linux nat-table semantics).
+	translated map[*ipv4.Packet]struct{}
+
+	// Counters.
+	Translations uint64
+	Drops        uint64
+}
+
+// New returns an empty table (policy ACCEPT on every chain).
+func New() *Table {
+	return &Table{
+		chains:     make(map[ipv4.HookPoint][]*Rule),
+		conntrack:  make(map[flowKey]natEntry),
+		translated: make(map[*ipv4.Packet]struct{}),
+	}
+}
+
+// Append adds a rule to a chain.
+func (t *Table) Append(chain ipv4.HookPoint, r Rule) *Rule {
+	rp := &r
+	t.chains[chain] = append(t.chains[chain], rp)
+	return rp
+}
+
+// Rules lists a chain's rules.
+func (t *Table) Rules(chain ipv4.HookPoint) []*Rule { return t.chains[chain] }
+
+// Filter implements ipv4.Hook.
+func (t *Table) Filter(point ipv4.HookPoint, pkt *ipv4.Packet, in, out string) ipv4.Verdict {
+	// Conntrack first (established translations bypass NAT rule
+	// evaluation, and reply packets get the reverse translation).
+	switch point {
+	case ipv4.HookPrerouting, ipv4.HookOutput:
+		delete(t.translated, pkt) // fresh traversal for this pointer
+		if t.applyConntrack(pkt) {
+			t.translated[pkt] = struct{}{}
+		}
+	}
+	_, tracked := t.translated[pkt]
+	verdict := ipv4.VerdictAccept
+	for _, r := range t.chains[point] {
+		if !r.matches(pkt, in, out) {
+			continue
+		}
+		if tracked && (r.Target == TargetDNAT || r.Target == TargetSNAT) {
+			continue // flow already translated; nat rules see first packet only
+		}
+		r.Packets++
+		r.Bytes += uint64(pkt.Len())
+		done := true
+		switch r.Target {
+		case TargetAccept:
+		case TargetDrop:
+			t.Drops++
+			verdict = ipv4.VerdictDrop
+		case TargetDNAT:
+			t.applyDNAT(pkt, r.NATTo)
+			t.translated[pkt] = struct{}{}
+		case TargetSNAT:
+			t.applySNAT(pkt, r.NATTo)
+			t.translated[pkt] = struct{}{}
+		}
+		if done {
+			break
+		}
+	}
+	// Terminal hooks (and drops) end the traversal: release the marker.
+	if verdict == ipv4.VerdictDrop || point == ipv4.HookInput || point == ipv4.HookPostrouting {
+		delete(t.translated, pkt)
+	}
+	return verdict
+}
+
+// applyConntrack translates packets of flows with existing NAT state, both
+// continuing originals and replies. It reports whether a translation was
+// applied.
+func (t *Table) applyConntrack(pkt *ipv4.Packet) bool {
+	sp, dp, ok := transportPorts(pkt)
+	if !ok {
+		return false
+	}
+	key := flowKey{proto: pkt.Proto, src: pkt.Src, dst: pkt.Dst, srcPort: sp, dstPort: dp}
+	e, ok := t.conntrack[key]
+	if !ok {
+		return false
+	}
+	t.Translations++
+	switch e.kind {
+	case TargetDNAT:
+		// Forward direction of a DNATed flow, or reply of an SNATed one.
+		pkt.Dst = e.to.Addr
+		if e.to.Port != 0 {
+			setTransportPorts(pkt, sp, e.to.Port)
+		}
+	case TargetSNAT:
+		pkt.Src = e.to.Addr
+		if e.to.Port != 0 {
+			setTransportPorts(pkt, e.to.Port, dp)
+		}
+	}
+	fixTransportChecksum(pkt)
+	return true
+}
+
+// applyDNAT rewrites the destination and records both directions.
+func (t *Table) applyDNAT(pkt *ipv4.Packet, to inet.HostPort) {
+	sp, dp, _ := transportPorts(pkt)
+	origDst := inet.HostPort{Addr: pkt.Dst, Port: dp}
+	newPort := to.Port
+	if newPort == 0 {
+		newPort = dp
+	}
+	// Forward entry: future packets of this flow translate without rules.
+	fwd := flowKey{proto: pkt.Proto, src: pkt.Src, dst: pkt.Dst, srcPort: sp, dstPort: dp}
+	t.conntrack[fwd] = natEntry{kind: TargetDNAT, orig: origDst, to: inet.HostPort{Addr: to.Addr, Port: newPort}}
+	// Reply entry: packets from the new destination back to the source get
+	// their source rewritten to the original destination (un-DNAT).
+	rev := flowKey{proto: pkt.Proto, src: to.Addr, dst: pkt.Src, srcPort: newPort, dstPort: sp}
+	t.conntrack[rev] = natEntry{kind: TargetSNAT, orig: inet.HostPort{Addr: to.Addr, Port: newPort}, to: origDst}
+
+	t.Translations++
+	pkt.Dst = to.Addr
+	setTransportPorts(pkt, sp, newPort)
+	fixTransportChecksum(pkt)
+}
+
+// applySNAT rewrites the source and records both directions.
+func (t *Table) applySNAT(pkt *ipv4.Packet, to inet.HostPort) {
+	sp, dp, _ := transportPorts(pkt)
+	origSrc := inet.HostPort{Addr: pkt.Src, Port: sp}
+	newPort := to.Port
+	if newPort == 0 {
+		newPort = sp
+	}
+	fwd := flowKey{proto: pkt.Proto, src: pkt.Src, dst: pkt.Dst, srcPort: sp, dstPort: dp}
+	t.conntrack[fwd] = natEntry{kind: TargetSNAT, orig: origSrc, to: inet.HostPort{Addr: to.Addr, Port: newPort}}
+	rev := flowKey{proto: pkt.Proto, src: pkt.Dst, dst: to.Addr, srcPort: dp, dstPort: newPort}
+	t.conntrack[rev] = natEntry{kind: TargetDNAT, orig: inet.HostPort{Addr: to.Addr, Port: newPort}, to: origSrc}
+
+	t.Translations++
+	pkt.Src = to.Addr
+	setTransportPorts(pkt, newPort, dp)
+	fixTransportChecksum(pkt)
+}
+
+// transportPorts extracts TCP/UDP ports.
+func transportPorts(pkt *ipv4.Packet) (src, dst inet.Port, ok bool) {
+	if (pkt.Proto != ipv4.ProtoTCP && pkt.Proto != ipv4.ProtoUDP) || len(pkt.Payload) < 4 {
+		return 0, 0, false
+	}
+	return inet.Port(binary.BigEndian.Uint16(pkt.Payload[0:2])),
+		inet.Port(binary.BigEndian.Uint16(pkt.Payload[2:4])), true
+}
+
+func setTransportPorts(pkt *ipv4.Packet, src, dst inet.Port) {
+	if len(pkt.Payload) < 4 {
+		return
+	}
+	binary.BigEndian.PutUint16(pkt.Payload[0:2], uint16(src))
+	binary.BigEndian.PutUint16(pkt.Payload[2:4], uint16(dst))
+}
+
+// fixTransportChecksum recomputes the TCP/UDP checksum after address or port
+// rewrites (the pseudo-header covers IP addresses).
+func fixTransportChecksum(pkt *ipv4.Packet) {
+	var csOff int
+	switch pkt.Proto {
+	case ipv4.ProtoTCP:
+		csOff = 16
+	case ipv4.ProtoUDP:
+		csOff = 6
+	default:
+		return
+	}
+	if len(pkt.Payload) < csOff+2 {
+		return
+	}
+	pkt.Payload[csOff] = 0
+	pkt.Payload[csOff+1] = 0
+	sum := inet.PseudoHeaderSum(pkt.Src, pkt.Dst, pkt.Proto, uint16(len(pkt.Payload)))
+	sum = inet.SumBytes(sum, pkt.Payload)
+	cs := inet.FinishChecksum(sum)
+	if pkt.Proto == ipv4.ProtoUDP && cs == 0 {
+		cs = 0xffff
+	}
+	binary.BigEndian.PutUint16(pkt.Payload[csOff:csOff+2], cs)
+}
+
+// ParseIptables parses a restricted iptables command line — the subset the
+// paper uses — and appends the resulting rule. Supported flags:
+//
+//	-t nat|filter  -A CHAIN  -p tcp|udp|icmp  -s CIDR|IP  -d CIDR|IP
+//	--sport N  --dport N  -i IFACE  -o IFACE
+//	-j ACCEPT|DROP|DNAT|SNAT  --to IP[:PORT] | --to-destination | --to-source
+func (t *Table) ParseIptables(cmd string) (*Rule, error) {
+	fields := strings.Fields(strings.TrimPrefix(strings.TrimSpace(cmd), "iptables"))
+	var rule Rule
+	rule.Target = TargetAccept
+	chain := ipv4.HookPoint(-1)
+	i := 0
+	next := func(flag string) (string, error) {
+		i++
+		if i >= len(fields) {
+			return "", fmt.Errorf("netfilter: %s needs an argument", flag)
+		}
+		return fields[i], nil
+	}
+	for ; i < len(fields); i++ {
+		f := fields[i]
+		switch f {
+		case "-t":
+			if _, err := next(f); err != nil {
+				return nil, err
+			} // table name accepted and ignored
+		case "-A":
+			v, err := next(f)
+			if err != nil {
+				return nil, err
+			}
+			switch v {
+			case "PREROUTING":
+				chain = ipv4.HookPrerouting
+			case "INPUT":
+				chain = ipv4.HookInput
+			case "FORWARD":
+				chain = ipv4.HookForward
+			case "OUTPUT":
+				chain = ipv4.HookOutput
+			case "POSTROUTING":
+				chain = ipv4.HookPostrouting
+			default:
+				return nil, fmt.Errorf("netfilter: unknown chain %q", v)
+			}
+		case "-p":
+			v, err := next(f)
+			if err != nil {
+				return nil, err
+			}
+			switch v {
+			case "tcp":
+				rule.Match.Proto = ipv4.ProtoTCP
+			case "udp":
+				rule.Match.Proto = ipv4.ProtoUDP
+			case "icmp":
+				rule.Match.Proto = ipv4.ProtoICMP
+			default:
+				return nil, fmt.Errorf("netfilter: unknown proto %q", v)
+			}
+		case "-s", "-d":
+			v, err := next(f)
+			if err != nil {
+				return nil, err
+			}
+			if !strings.Contains(v, "/") {
+				v += "/32"
+			}
+			p, err := inet.ParsePrefix(v)
+			if err != nil {
+				return nil, err
+			}
+			if f == "-s" {
+				rule.Match.Src = &p
+			} else {
+				rule.Match.Dst = &p
+			}
+		case "--sport", "--dport":
+			v, err := next(f)
+			if err != nil {
+				return nil, err
+			}
+			var port int
+			if _, err := fmt.Sscanf(v, "%d", &port); err != nil || port < 1 || port > 65535 {
+				return nil, fmt.Errorf("netfilter: bad port %q", v)
+			}
+			if f == "--sport" {
+				rule.Match.SrcPort = inet.Port(port)
+			} else {
+				rule.Match.DstPort = inet.Port(port)
+			}
+		case "-i":
+			v, err := next(f)
+			if err != nil {
+				return nil, err
+			}
+			rule.Match.InIface = v
+		case "-o":
+			v, err := next(f)
+			if err != nil {
+				return nil, err
+			}
+			rule.Match.OutIface = v
+		case "-j":
+			v, err := next(f)
+			if err != nil {
+				return nil, err
+			}
+			switch v {
+			case "ACCEPT":
+				rule.Target = TargetAccept
+			case "DROP":
+				rule.Target = TargetDrop
+			case "DNAT":
+				rule.Target = TargetDNAT
+			case "SNAT":
+				rule.Target = TargetSNAT
+			default:
+				return nil, fmt.Errorf("netfilter: unknown target %q", v)
+			}
+		case "--to", "--to-destination", "--to-source":
+			v, err := next(f)
+			if err != nil {
+				return nil, err
+			}
+			if strings.Contains(v, ":") {
+				hp, err := inet.ParseHostPort(v)
+				if err != nil {
+					return nil, err
+				}
+				rule.NATTo = hp
+			} else {
+				a, err := inet.ParseAddr(v)
+				if err != nil {
+					return nil, err
+				}
+				rule.NATTo = inet.HostPort{Addr: a}
+			}
+		default:
+			return nil, fmt.Errorf("netfilter: unsupported flag %q", f)
+		}
+	}
+	if chain < 0 {
+		return nil, fmt.Errorf("netfilter: no -A CHAIN given")
+	}
+	if (rule.Target == TargetDNAT || rule.Target == TargetSNAT) && rule.NATTo.Addr.IsUnspecified() {
+		return nil, fmt.Errorf("netfilter: %v requires --to", rule.Target)
+	}
+	return t.Append(chain, rule), nil
+}

@@ -1,0 +1,48 @@
+package phy
+
+import (
+	"repro/internal/sim"
+)
+
+// Jammer floods a channel with meaningless transmissions, denying it to
+// everyone in range — the paper's Section 1 lists jamming among the threats
+// wireless inherits from its broadcast physical layer. (A jammer can also
+// serve the rogue: silence the real AP's channel and the clients roam.)
+type Jammer struct {
+	kernel  *sim.Kernel
+	radio   *Radio
+	payload []byte
+	rate    Rate
+	stopped bool
+
+	// Bursts counts jamming transmissions.
+	Bursts uint64
+}
+
+// NewJammer starts continuous jamming on the radio's channel with bursts of
+// burstBytes at the given rate (defaults: 1500 bytes at 1 Mb/s — long, slow
+// bursts occupy the most airtime per transmission).
+func NewJammer(k *sim.Kernel, radio *Radio, burstBytes int, rate Rate) *Jammer {
+	if burstBytes <= 0 {
+		burstBytes = 1500
+	}
+	if rate == 0 {
+		rate = Rate1Mbps
+	}
+	j := &Jammer{kernel: k, radio: radio, payload: make([]byte, burstBytes), rate: rate}
+	j.burst()
+	return j
+}
+
+// Stop ends the jamming after the current burst.
+func (j *Jammer) Stop() { j.stopped = true }
+
+func (j *Jammer) burst() {
+	if j.stopped {
+		return
+	}
+	j.Bursts++
+	end := j.radio.Send(j.payload, j.rate)
+	// Back-to-back bursts: the channel never goes idle.
+	j.kernel.At(end, j.burst)
+}

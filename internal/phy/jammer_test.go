@@ -1,0 +1,79 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestJammerDeniesChannel(t *testing.T) {
+	k, m := newTestMedium(1)
+	tx := m.AddRadio(RadioConfig{Name: "tx", Pos: Position{0, 0}, Channel: 1})
+	rx := m.AddRadio(RadioConfig{Name: "rx", Pos: Position{10, 0}, Channel: 1})
+	heard := 0
+	// Count only the legitimate transmitter's 500-byte frames: the PHY also
+	// delivers the jammer's (stronger, capture-winning) noise bursts, which
+	// a real MAC would discard as garbage.
+	rx.SetReceiver(func(data []byte, info RxInfo) {
+		if len(data) == 500 {
+			heard++
+		}
+	})
+
+	// Baseline: frames arrive.
+	for i := 0; i < 10; i++ {
+		tx.Send(make([]byte, 500), Rate11Mbps)
+	}
+	k.RunFor(sim.Second)
+	if heard != 10 {
+		t.Fatalf("baseline heard %d/10", heard)
+	}
+
+	// Jam from right next to the receiver: everything collides.
+	jamRadio := m.AddRadio(RadioConfig{Name: "jam", Pos: Position{10, 1}, Channel: 1})
+	j := NewJammer(k, jamRadio, 1500, Rate1Mbps)
+	heard = 0
+	for i := 0; i < 20; i++ {
+		tx.Send(make([]byte, 500), Rate11Mbps)
+	}
+	k.RunFor(sim.Second)
+	if heard != 0 {
+		t.Fatalf("heard %d frames through the jammer", heard)
+	}
+	if rx.RxCollisions == 0 {
+		t.Fatal("no collisions recorded at the jammed receiver")
+	}
+	if j.Bursts == 0 {
+		t.Fatal("jammer sent nothing")
+	}
+
+	// Stop: channel recovers.
+	j.Stop()
+	k.RunFor(sim.Second) // drain the final burst
+	heard = 0
+	for i := 0; i < 10; i++ {
+		tx.Send(make([]byte, 500), Rate11Mbps)
+	}
+	k.RunFor(sim.Second)
+	if heard != 10 {
+		t.Fatalf("after Stop heard %d/10", heard)
+	}
+}
+
+func TestJammerIsChannelLocal(t *testing.T) {
+	k, m := newTestMedium(1)
+	jamRadio := m.AddRadio(RadioConfig{Name: "jam", Pos: Position{0, 0}, Channel: 1})
+	NewJammer(k, jamRadio, 1500, Rate1Mbps)
+	// Channel 6 (orthogonal) is unaffected.
+	tx := m.AddRadio(RadioConfig{Name: "tx", Pos: Position{0, 1}, Channel: 6})
+	rx := m.AddRadio(RadioConfig{Name: "rx", Pos: Position{5, 0}, Channel: 6})
+	heard := 0
+	rx.SetReceiver(func(data []byte, info RxInfo) { heard++ })
+	for i := 0; i < 10; i++ {
+		tx.Send(make([]byte, 500), Rate11Mbps)
+	}
+	k.RunFor(sim.Second)
+	if heard != 10 {
+		t.Fatalf("orthogonal channel heard %d/10 under jamming", heard)
+	}
+}

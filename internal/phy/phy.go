@@ -1,0 +1,404 @@
+// Package phy models the 802.11b physical layer: a shared broadcast medium
+// with DSSS channels 1–11, log-distance path loss, SNR-dependent frame loss,
+// airtime at the 1/2/5.5/11 Mb/s rates, carrier sense, and collisions.
+//
+// The model is deliberately simple but captures the properties the paper's
+// attack depends on:
+//
+//   - broadcast: every radio in range overhears every frame (Section 1.1's
+//     eavesdropping asymmetry, experiment E8);
+//   - signal strength: clients prefer the loudest AP for an SSID, which is
+//     how a nearby rogue wins associations (experiment E1);
+//   - channels: the rogue runs on a different channel (Figure 1: CORP on
+//     channel 1, rogue on channel 6) so it does not compete with the real AP.
+package phy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Channel is an 802.11b DSSS channel number (1–11 in the US).
+type Channel int
+
+// MinChannel and MaxChannel bound the US 802.11b channel plan.
+const (
+	MinChannel Channel = 1
+	MaxChannel Channel = 11
+)
+
+// Valid reports whether c is a legal channel.
+func (c Channel) Valid() bool { return c >= MinChannel && c <= MaxChannel }
+
+// Rate is an 802.11b PHY bit rate.
+type Rate int
+
+// The four 802.11b rates.
+const (
+	Rate1Mbps  Rate = 1_000_000
+	Rate2Mbps  Rate = 2_000_000
+	Rate5Mbps  Rate = 5_500_000
+	Rate11Mbps Rate = 11_000_000
+)
+
+// String formats the rate.
+func (r Rate) String() string {
+	switch r {
+	case Rate5Mbps:
+		return "5.5Mbps"
+	default:
+		return fmt.Sprintf("%dMbps", int(r)/1_000_000)
+	}
+}
+
+// requiredSNR is the SNR (dB) at which each rate starts working well.
+func (r Rate) requiredSNR() float64 {
+	switch r {
+	case Rate1Mbps:
+		return 4
+	case Rate2Mbps:
+		return 6
+	case Rate5Mbps:
+		return 8
+	default: // 11 Mb/s
+		return 10
+	}
+}
+
+// plcpOverhead is the long-preamble PLCP preamble+header airtime.
+const plcpOverhead = 192 * sim.Microsecond
+
+// Airtime reports how long a frame of n bytes occupies the air at rate r,
+// including the PLCP preamble.
+func Airtime(n int, r Rate) sim.Time {
+	return plcpOverhead + sim.Time(math.Round(float64(n*8)/float64(r)*float64(sim.Second)))
+}
+
+// Position is a 2-D location in metres.
+type Position struct{ X, Y float64 }
+
+// DistanceTo returns the Euclidean distance in metres.
+func (p Position) DistanceTo(q Position) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Config sets the propagation model. Zero values take the defaults noted.
+type Config struct {
+	// PathLossExponent: 2 free space, ~3 indoor office (default 3).
+	PathLossExponent float64
+	// ReferenceLossDB is the loss at 1 m (default 40 dB, ~2.4 GHz).
+	ReferenceLossDB float64
+	// NoiseFloorDBm (default -95).
+	NoiseFloorDBm float64
+	// ShadowingSigmaDB adds per-frame lognormal shadowing (default 0:
+	// deterministic propagation; experiments that want fading set it).
+	ShadowingSigmaDB float64
+	// CaptureThresholdDB: a frame survives an overlap if it is this much
+	// stronger than the interferer (default 10 dB).
+	CaptureThresholdDB float64
+	// CarrierSenseDBm: energy above this is "channel busy" (default -85).
+	CarrierSenseDBm float64
+}
+
+func (c *Config) fill() {
+	if c.PathLossExponent == 0 {
+		c.PathLossExponent = 3
+	}
+	if c.ReferenceLossDB == 0 {
+		c.ReferenceLossDB = 40
+	}
+	if c.NoiseFloorDBm == 0 {
+		c.NoiseFloorDBm = -95
+	}
+	if c.CaptureThresholdDB == 0 {
+		c.CaptureThresholdDB = 10
+	}
+	if c.CarrierSenseDBm == 0 {
+		c.CarrierSenseDBm = -85
+	}
+}
+
+// Medium is the shared air. All radios attach to one Medium.
+type Medium struct {
+	kernel *sim.Kernel
+	cfg    Config
+	rng    *sim.RNG
+	radios []*Radio
+	active []*transmission
+
+	// Stats.
+	Transmissions uint64
+	Deliveries    uint64
+	SNRDrops      uint64
+	Collisions    uint64
+}
+
+type transmission struct {
+	src        *Radio
+	channel    Channel
+	start, end sim.Time
+	powerDBm   float64
+	data       []byte
+	// overlaps lists transmissions whose air occupancy intersects this
+	// one's; maintained symmetrically as transmissions start.
+	overlaps []*transmission
+}
+
+// NewMedium creates an empty medium on the kernel.
+func NewMedium(k *sim.Kernel, cfg Config) *Medium {
+	cfg.fill()
+	return &Medium{kernel: k, cfg: cfg, rng: k.RNG().Fork()}
+}
+
+// pathLossDB returns the propagation loss between two positions.
+func (m *Medium) pathLossDB(a, b Position) float64 {
+	d := a.DistanceTo(b)
+	if d < 1 {
+		d = 1
+	}
+	return m.cfg.ReferenceLossDB + 10*m.cfg.PathLossExponent*math.Log10(d)
+}
+
+// rxPowerDBm is the received power at rx for a transmission from tx.
+func (m *Medium) rxPowerDBm(txPower float64, txPos, rxPos Position) float64 {
+	p := txPower - m.pathLossDB(txPos, rxPos)
+	if m.cfg.ShadowingSigmaDB > 0 {
+		p += m.rng.NormFloat64() * m.cfg.ShadowingSigmaDB
+	}
+	return p
+}
+
+// channelRejectionDB attenuates energy from adjacent channels. 802.11b
+// channels 5 apart are effectively orthogonal.
+func channelRejectionDB(a, b Channel) float64 {
+	d := int(a) - int(b)
+	if d < 0 {
+		d = -d
+	}
+	if d == 0 {
+		return 0
+	}
+	if d >= 5 {
+		return math.Inf(1)
+	}
+	return float64(d) * 12
+}
+
+// RxInfo describes a received frame to the MAC layer.
+type RxInfo struct {
+	Channel Channel
+	RSSIDBm float64
+	SNRDB   float64
+	Rate    Rate
+	At      sim.Time
+	Airtime sim.Time
+	// Src identifies the transmitting radio; it exists for tracing and is
+	// not information a real receiver would have beyond the frame contents.
+	Src *Radio
+}
+
+// Receiver consumes frames that survive the channel.
+type Receiver func(data []byte, info RxInfo)
+
+// Radio is one 802.11 transceiver attached to the medium. A radio is
+// half-duplex and tuned to a single channel at a time.
+type Radio struct {
+	medium   *Medium
+	name     string
+	pos      Position
+	channel  Channel
+	txPower  float64 // dBm
+	recv     Receiver
+	sendBusy sim.Time // our own tx serialisation
+
+	// Counters.
+	TxFrames, RxFrames, RxCollisions, RxBelowSNR uint64
+}
+
+// RadioConfig configures a new radio.
+type RadioConfig struct {
+	Name       string
+	Pos        Position
+	Channel    Channel
+	TxPowerDBm float64 // default 15 dBm (typical 802.11b card)
+}
+
+// AddRadio attaches a new radio to the medium.
+func (m *Medium) AddRadio(cfg RadioConfig) *Radio {
+	if cfg.TxPowerDBm == 0 {
+		cfg.TxPowerDBm = 15
+	}
+	if cfg.Channel == 0 {
+		cfg.Channel = 1
+	}
+	if !cfg.Channel.Valid() {
+		panic(fmt.Sprintf("phy: invalid channel %d", cfg.Channel))
+	}
+	r := &Radio{medium: m, name: cfg.Name, pos: cfg.Pos, channel: cfg.Channel, txPower: cfg.TxPowerDBm}
+	m.radios = append(m.radios, r)
+	return r
+}
+
+// Name reports the radio's human-readable name.
+func (r *Radio) Name() string { return r.name }
+
+// Position reports the radio's location.
+func (r *Radio) Position() Position { return r.pos }
+
+// SetPosition moves the radio (client mobility).
+func (r *Radio) SetPosition(p Position) { r.pos = p }
+
+// Channel reports the tuned channel.
+func (r *Radio) Channel() Channel { return r.channel }
+
+// SetChannel retunes the radio (used by scanning clients and monitors).
+func (r *Radio) SetChannel(c Channel) {
+	if !c.Valid() {
+		panic(fmt.Sprintf("phy: invalid channel %d", c))
+	}
+	r.channel = c
+}
+
+// TxPowerDBm reports the transmit power.
+func (r *Radio) TxPowerDBm() float64 { return r.txPower }
+
+// SetTxPowerDBm adjusts transmit power (the rogue AP cranks this up).
+func (r *Radio) SetTxPowerDBm(p float64) { r.txPower = p }
+
+// SetReceiver installs the MAC-layer frame handler. The PHY delivers every
+// decodable frame on the tuned channel; address filtering is the MAC's job,
+// which is exactly why wireless sniffing is trivial.
+func (r *Radio) SetReceiver(recv Receiver) { r.recv = recv }
+
+// CarrierBusy reports whether the radio senses energy on its channel.
+func (r *Radio) CarrierBusy() bool {
+	now := r.medium.kernel.Now()
+	for _, t := range r.medium.active {
+		if t.end <= now || t.start > now || t.src == r {
+			continue
+		}
+		rej := channelRejectionDB(t.channel, r.channel)
+		if math.IsInf(rej, 1) {
+			continue
+		}
+		p := t.powerDBm - r.medium.pathLossDB(t.src.pos, r.pos) - rej
+		if p >= r.medium.cfg.CarrierSenseDBm {
+			return true
+		}
+	}
+	return false
+}
+
+// Send transmits data at the given rate on the radio's channel. Transmissions
+// from one radio serialise; the medium handles loss and collisions. The
+// returned time is when the transmission ends.
+func (r *Radio) Send(data []byte, rate Rate) sim.Time {
+	m := r.medium
+	now := m.kernel.Now()
+	start := now
+	if r.sendBusy > start {
+		start = r.sendBusy
+	}
+	air := Airtime(len(data), rate)
+	end := start + air
+	r.sendBusy = end
+	r.TxFrames++
+	m.Transmissions++
+
+	tx := &transmission{src: r, channel: r.channel, start: start, end: end, powerDBm: r.txPower, data: data}
+	for _, t := range m.active {
+		if t.end > start && t.start < end {
+			t.overlaps = append(t.overlaps, tx)
+			tx.overlaps = append(tx.overlaps, t)
+		}
+	}
+	m.active = append(m.active, tx)
+	m.kernel.At(end, func() {
+		m.complete(tx, rate, air)
+	})
+	return end
+}
+
+// complete runs at a transmission's end time: it evaluates reception at each
+// candidate radio and prunes the active list.
+func (m *Medium) complete(tx *transmission, rate Rate, air sim.Time) {
+	now := m.kernel.Now()
+	overlaps := tx.overlaps
+	kept := make([]*transmission, 0, len(m.active))
+	for _, t := range m.active {
+		if t != tx && t.end > now {
+			kept = append(kept, t)
+		}
+	}
+	m.active = kept
+
+	for _, rx := range m.radios {
+		if rx == tx.src {
+			continue
+		}
+		rej := channelRejectionDB(tx.channel, rx.channel)
+		if math.IsInf(rej, 1) {
+			continue
+		}
+		rssi := m.rxPowerDBm(tx.powerDBm, tx.src.pos, rx.pos) - rej
+		// Interference: strongest overlapping transmission audible at rx.
+		interf := m.cfg.NoiseFloorDBm
+		collided := false
+		for _, o := range overlaps {
+			orej := channelRejectionDB(o.channel, rx.channel)
+			if math.IsInf(orej, 1) {
+				continue
+			}
+			op := o.powerDBm - m.pathLossDB(o.src.pos, rx.pos) - orej
+			if op > interf {
+				interf = op
+			}
+			if rssi-op < m.cfg.CaptureThresholdDB {
+				collided = true
+			}
+		}
+		if collided {
+			rx.RxCollisions++
+			m.Collisions++
+			continue
+		}
+		snr := rssi - m.cfg.NoiseFloorDBm
+		if !m.frameSurvives(snr, len(tx.data), rate) {
+			rx.RxBelowSNR++
+			m.SNRDrops++
+			continue
+		}
+		if rx.recv == nil {
+			continue
+		}
+		rx.RxFrames++
+		m.Deliveries++
+		info := RxInfo{
+			Channel: tx.channel, RSSIDBm: rssi, SNRDB: snr,
+			Rate: rate, At: now, Airtime: air, Src: tx.src,
+		}
+		rx.recv(tx.data, info)
+	}
+}
+
+// frameSurvives applies the SNR/size loss model: a logistic per-frame success
+// curve centred on the rate's required SNR, sharpened for larger frames.
+func (m *Medium) frameSurvives(snr float64, size int, rate Rate) bool {
+	margin := snr - rate.requiredSNR()
+	pBit := 1 / (1 + math.Exp(-margin*1.2)) // per-"block" success
+	// Longer frames face more chances to be hit; normalise to 256-byte blocks.
+	blocks := float64(size)/256 + 1
+	pFrame := math.Pow(pBit, blocks)
+	return m.rng.Bool(pFrame)
+}
+
+// SNRAt reports the SNR a receiver at pos would see from a transmitter —
+// used by topology builders to sanity-check placements.
+func (m *Medium) SNRAt(txPower float64, txPos, rxPos Position) float64 {
+	return txPower - m.pathLossDB(txPos, rxPos) - m.cfg.NoiseFloorDBm
+}
+
+// Radios returns the attached radios (for inspection in tests and tools).
+func (m *Medium) Radios() []*Radio { return m.radios }

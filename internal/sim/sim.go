@@ -1,0 +1,261 @@
+// Package sim provides the discrete-event simulation kernel that every other
+// substrate in this repository runs on.
+//
+// A Kernel owns a virtual clock and a priority queue of pending events.
+// Nothing in the simulation touches wall-clock time or host I/O: all protocol
+// timers (beacon intervals, TCP retransmission timeouts, ARP cache aging, VPN
+// rekeys) are events on this queue, which makes every run deterministic for a
+// given seed and very fast — a simulated minute of 802.11 traffic executes in
+// milliseconds.
+//
+// The kernel is deliberately single-goroutine: one World, one event loop.
+// Parallelism in this repository happens *across* independent kernels (see
+// core.Sweep), never inside one, which keeps the protocol code free of locks
+// and the results reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as a duration since the simulation
+// epoch (t=0). It is a distinct type so that virtual and wall-clock times can
+// never be mixed accidentally.
+type Time time.Duration
+
+// Common virtual-time constants re-exported for convenience.
+const (
+	Nanosecond  Time = Time(time.Nanosecond)
+	Microsecond Time = Time(time.Microsecond)
+	Millisecond Time = Time(time.Millisecond)
+	Second      Time = Time(time.Second)
+	Minute      Time = Time(time.Minute)
+	Hour        Time = Time(time.Hour)
+)
+
+// MaxTime is the largest representable virtual time; used as "never".
+const MaxTime Time = Time(math.MaxInt64)
+
+// Duration converts t to a time.Duration since the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Add returns t shifted by d.
+func (t Time) Add(d Time) Time { return t + d }
+
+// Sub returns the interval t-u.
+func (t Time) Sub(u Time) Time { return t - u }
+
+// String formats the timestamp with time.Duration semantics.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. Events fire in timestamp order; ties break
+// by scheduling order (FIFO), which keeps causally related events stable.
+type Event struct {
+	when Time
+	seq  uint64 // tie-break: insertion order
+	fn   func()
+	// index in the heap, or -1 when not queued. Maintained by eventQueue.
+	index int
+	// cancelled events remain in the heap but are skipped when popped.
+	cancelled bool
+}
+
+// When reports the virtual time at which the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op. Cancel is O(1); the event is lazily
+// discarded when it reaches the top of the queue.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.cancelled = true
+		e.fn = nil // release closure for GC
+	}
+}
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
+
+// eventQueue is a min-heap of events ordered by (when, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator instance: a virtual clock, an event
+// queue, and a deterministic random source.
+type Kernel struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	rng     *RNG
+	stopped bool
+	// Stats
+	fired uint64
+	// Tracer, if non-nil, receives a line for each significant kernel action.
+	Tracer Tracer
+}
+
+// NewKernel returns a kernel at t=0 whose random source is seeded with seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: NewRNG(seed)}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// RNG returns the kernel's deterministic random source.
+func (k *Kernel) RNG() *RNG { return k.rng }
+
+// Fired reports how many events have been executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending reports how many events are queued (including cancelled ones that
+// have not yet been discarded).
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: it would violate causality and always indicates a bug in
+// protocol code.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: now=%v t=%v", k.now, t))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := &Event{when: t, seq: k.seq, fn: fn, index: -1}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Stop halts Run/RunUntil after the currently executing event returns.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+// step executes the next pending event, advancing the clock to its timestamp.
+// It reports false when the queue is empty.
+func (k *Kernel) step() bool {
+	for len(k.queue) > 0 {
+		e := heap.Pop(&k.queue).(*Event)
+		if e.cancelled {
+			continue
+		}
+		if e.when < k.now {
+			panic("sim: event queue time went backwards")
+		}
+		k.now = e.when
+		fn := e.fn
+		e.fn = nil
+		k.fired++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called, and reports
+// the number of events fired.
+func (k *Kernel) Run() uint64 {
+	start := k.fired
+	for !k.stopped && k.step() {
+	}
+	return k.fired - start
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving later events
+// queued, and advances the clock to exactly deadline. It reports the number
+// of events fired.
+func (k *Kernel) RunUntil(deadline Time) uint64 {
+	if deadline < k.now {
+		panic(fmt.Sprintf("sim: RunUntil into the past: now=%v deadline=%v", k.now, deadline))
+	}
+	start := k.fired
+	for !k.stopped {
+		// Peek.
+		var next *Event
+		for len(k.queue) > 0 && k.queue[0].cancelled {
+			heap.Pop(&k.queue)
+		}
+		if len(k.queue) > 0 {
+			next = k.queue[0]
+		}
+		if next == nil || next.when > deadline {
+			break
+		}
+		k.step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return k.fired - start
+}
+
+// RunFor executes events for a span d of virtual time starting now.
+func (k *Kernel) RunFor(d Time) uint64 { return k.RunUntil(k.now + d) }
+
+// Tracer receives human-readable trace lines from the kernel and from
+// protocol modules that choose to log. A nil Tracer is silent.
+type Tracer interface {
+	Trace(t Time, component, format string, args ...any)
+}
+
+// Tracef logs through the kernel's tracer, if any.
+func (k *Kernel) Tracef(component, format string, args ...any) {
+	if k.Tracer != nil {
+		k.Tracer.Trace(k.now, component, format, args...)
+	}
+}
+
+// WriterTracer adapts an io.Writer-style print function into a Tracer.
+type FuncTracer func(t Time, component, format string, args ...any)
+
+// Trace implements Tracer.
+func (f FuncTracer) Trace(t Time, component, format string, args ...any) {
+	f(t, component, format, args...)
+}

@@ -1,0 +1,144 @@
+// Package tcp implements a simplified but behaviourally honest TCP over the
+// simulated IPv4 stack: three-way handshake, cumulative ACKs, out-of-order
+// reassembly, Jacobson RTT estimation with exponential-backoff
+// retransmission, Reno-style congestion control (slow start, congestion
+// avoidance, fast retransmit), graceful FIN teardown, RST handling and
+// TIME_WAIT.
+//
+// The congestion machinery is not decoration: experiment E6 reproduces the
+// paper's observation (§5.3) that a PPP-over-SSH VPN "has drawbacks since
+// any UDP traffic is subject to unnecessary retransmission by TCP" — the
+// TCP-over-TCP meltdown — which only shows up if both the inner and outer
+// loops genuinely retransmit and back off.
+//
+// The API is event-driven (callbacks, no goroutines) because connections
+// live inside a single-threaded discrete-event kernel.
+package tcp
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/inet"
+	"repro/internal/ipv4"
+)
+
+// HeaderLen is the TCP header size (no options are emitted).
+const HeaderLen = 20
+
+// MSS is the maximum segment size (Ethernet MTU minus IP and TCP headers).
+const MSS = 1460
+
+// Flags.
+const (
+	flagFIN = 1 << 0
+	flagSYN = 1 << 1
+	flagRST = 1 << 2
+	flagACK = 1 << 4
+)
+
+// segment is a parsed TCP segment.
+type segment struct {
+	srcPort, dstPort inet.Port
+	seq, ack         uint32
+	flags            uint8
+	window           uint16
+	// mss is the MSS option value; emitted on SYN segments when non-zero,
+	// parsed from received SYNs (0 = absent).
+	mss     uint16
+	payload []byte
+}
+
+func (s *segment) fin() bool    { return s.flags&flagFIN != 0 }
+func (s *segment) syn() bool    { return s.flags&flagSYN != 0 }
+func (s *segment) rst() bool    { return s.flags&flagRST != 0 }
+func (s *segment) hasACK() bool { return s.flags&flagACK != 0 }
+
+// seqLen is the sequence space the segment occupies.
+func (s *segment) seqLen() uint32 {
+	n := uint32(len(s.payload))
+	if s.syn() {
+		n++
+	}
+	if s.fin() {
+		n++
+	}
+	return n
+}
+
+// marshal serialises with the pseudo-header checksum.
+func (s *segment) marshal(src, dst inet.Addr) []byte {
+	optLen := 0
+	if s.syn() && s.mss != 0 {
+		optLen = 4 // MSS option: kind 2, len 4, value(2)
+	}
+	hdr := HeaderLen + optLen
+	b := make([]byte, hdr+len(s.payload))
+	binary.BigEndian.PutUint16(b[0:2], uint16(s.srcPort))
+	binary.BigEndian.PutUint16(b[2:4], uint16(s.dstPort))
+	binary.BigEndian.PutUint32(b[4:8], s.seq)
+	binary.BigEndian.PutUint32(b[8:12], s.ack)
+	b[12] = byte(hdr/4) << 4 // data offset
+	b[13] = s.flags
+	binary.BigEndian.PutUint16(b[14:16], s.window)
+	if optLen > 0 {
+		b[20], b[21] = 2, 4
+		binary.BigEndian.PutUint16(b[22:24], s.mss)
+	}
+	copy(b[hdr:], s.payload)
+	sum := inet.PseudoHeaderSum(src, dst, ipv4.ProtoTCP, uint16(len(b)))
+	sum = inet.SumBytes(sum, b)
+	binary.BigEndian.PutUint16(b[16:18], inet.FinishChecksum(sum))
+	return b
+}
+
+var errBadSegment = errors.New("tcp: bad segment")
+
+// unmarshalSegment parses and verifies a segment.
+func unmarshalSegment(src, dst inet.Addr, b []byte) (segment, error) {
+	if len(b) < HeaderLen {
+		return segment{}, errBadSegment
+	}
+	sum := inet.PseudoHeaderSum(src, dst, ipv4.ProtoTCP, uint16(len(b)))
+	sum = inet.SumBytes(sum, b)
+	if inet.FinishChecksum(sum) != 0 {
+		return segment{}, errBadSegment
+	}
+	off := int(b[12]>>4) * 4
+	if off < HeaderLen || off > len(b) {
+		return segment{}, errBadSegment
+	}
+	s := segment{
+		srcPort: inet.Port(binary.BigEndian.Uint16(b[0:2])),
+		dstPort: inet.Port(binary.BigEndian.Uint16(b[2:4])),
+		seq:     binary.BigEndian.Uint32(b[4:8]),
+		ack:     binary.BigEndian.Uint32(b[8:12]),
+		flags:   b[13],
+		window:  binary.BigEndian.Uint16(b[14:16]),
+		payload: b[off:],
+	}
+	// Parse options for the MSS value.
+	opts := b[HeaderLen:off]
+	for len(opts) > 0 {
+		switch opts[0] {
+		case 0: // end of options
+			opts = nil
+		case 1: // nop
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 || int(opts[1]) < 2 || int(opts[1]) > len(opts) {
+				opts = nil
+				break
+			}
+			if opts[0] == 2 && opts[1] == 4 {
+				s.mss = binary.BigEndian.Uint16(opts[2:4])
+			}
+			opts = opts[opts[1]:]
+		}
+	}
+	return s, nil
+}
+
+// Sequence-space comparisons (RFC 793 modular arithmetic).
+func seqLT(a, b uint32) bool  { return int32(a-b) < 0 }
+func seqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }

@@ -1,0 +1,208 @@
+package tcp
+
+import (
+	"fmt"
+
+	"repro/internal/inet"
+	"repro/internal/ipv4"
+)
+
+// connKey identifies a connection by its 4-tuple.
+type connKey struct {
+	local, remote inet.HostPort
+}
+
+// Listener accepts inbound connections on a port.
+type Listener struct {
+	stack *Stack
+	port  inet.Port
+	// OnAccept fires when a connection completes the handshake.
+	OnAccept func(c *Conn)
+}
+
+// Port reports the listening port.
+func (l *Listener) Port() inet.Port { return l.port }
+
+// Close stops accepting (existing connections are unaffected).
+func (l *Listener) Close() { delete(l.stack.listeners, l.port) }
+
+// Stack is a host's TCP engine, bound to its IPv4 stack.
+type Stack struct {
+	ip        *ipv4.Stack
+	listeners map[inet.Port]*Listener
+	conns     map[connKey]*Conn
+	nextEphem inet.Port
+	issSeed   uint32
+
+	// MSS is the maximum segment size for connections on this stack
+	// (default MSS). VPN hosts lower it so tunnelled packets fit the
+	// carrier MTU without fragmentation.
+	MSS int
+
+	// Counters.
+	SegmentsIn, BadSegments, RSTsSent uint64
+	Retransmits                       uint64
+}
+
+// NewStack attaches TCP to an IPv4 stack.
+func NewStack(ip *ipv4.Stack) *Stack {
+	s := &Stack{
+		ip:        ip,
+		listeners: make(map[inet.Port]*Listener),
+		conns:     make(map[connKey]*Conn),
+		nextEphem: 49152,
+		issSeed:   uint32(ip.Kernel().RNG().Uint32()),
+		MSS:       MSS,
+	}
+	ip.Handle(ipv4.ProtoTCP, s.onPacket)
+	return s
+}
+
+// IP exposes the underlying network stack.
+func (s *Stack) IP() *ipv4.Stack { return s.ip }
+
+// Listen binds a listener to port.
+func (s *Stack) Listen(port inet.Port) (*Listener, error) {
+	if _, taken := s.listeners[port]; taken {
+		return nil, fmt.Errorf("tcp: port %d in use", port)
+	}
+	l := &Listener{stack: s, port: port}
+	s.listeners[port] = l
+	return l, nil
+}
+
+// Dial opens a connection to dst. The returned Conn is in SYN_SENT; install
+// callbacks immediately — OnConnect fires when the handshake completes.
+func (s *Stack) Dial(dst inet.HostPort) (*Conn, error) {
+	srcAddr, err := s.ip.SrcAddrFor(dst.Addr)
+	if err != nil {
+		return nil, err
+	}
+	local := inet.HostPort{Addr: srcAddr, Port: s.ephemeral()}
+	key := connKey{local: local, remote: dst}
+	if _, exists := s.conns[key]; exists {
+		return nil, fmt.Errorf("tcp: connection already exists")
+	}
+	c := s.newConn(local, dst)
+	c.state = StateSynSent
+	s.conns[key] = c
+	s.sendSYN(c)
+	return c, nil
+}
+
+func (s *Stack) newConn(local, remote inet.HostPort) *Conn {
+	s.issSeed = s.issSeed*1664525 + 1013904223
+	iss := s.issSeed
+	mss := s.MSS
+	if mss <= 0 || mss > MSS {
+		mss = MSS
+	}
+	return &Conn{
+		stack:    s,
+		local:    local,
+		remote:   remote,
+		iss:      iss,
+		sndUna:   iss,
+		sndNxt:   iss + 1, // SYN occupies one sequence number
+		peerWnd:  recvWindow,
+		mss:      mss,
+		cwnd:     float64(2 * mss),
+		ssthresh: initialSSTh,
+		rto:      initialRTO,
+	}
+}
+
+func (s *Stack) sendSYN(c *Conn) {
+	c.synTries++
+	if c.synTries > synRetries {
+		c.teardown(ErrTimeout)
+		return
+	}
+	c.sendSegment(segment{flags: flagSYN, seq: c.iss, mss: uint16(c.mss)})
+	backoff := initialRTO
+	for i := 1; i < c.synTries; i++ {
+		backoff *= 2
+	}
+	c.rtxTimer = s.ip.Kernel().After(backoff, func() {
+		if c.state == StateSynSent {
+			s.Retransmits++
+			s.sendSYN(c)
+		}
+	})
+}
+
+func (s *Stack) ephemeral() inet.Port {
+	for {
+		p := s.nextEphem
+		s.nextEphem++
+		if s.nextEphem == 0 {
+			s.nextEphem = 49152
+		}
+		inUse := false
+		for k := range s.conns {
+			if k.local.Port == p {
+				inUse = true
+				break
+			}
+		}
+		if !inUse {
+			return p
+		}
+	}
+}
+
+func (s *Stack) removeConn(c *Conn) {
+	delete(s.conns, connKey{local: c.local, remote: c.remote})
+}
+
+// sendRaw emits a marshalled segment through IP.
+func (s *Stack) sendRaw(src, dst inet.Addr, seg segment) {
+	_ = s.ip.Send(src, dst, ipv4.ProtoTCP, seg.marshal(src, dst))
+}
+
+// onPacket dispatches inbound segments.
+func (s *Stack) onPacket(pkt *ipv4.Packet, in string) {
+	seg, err := unmarshalSegment(pkt.Src, pkt.Dst, pkt.Payload)
+	if err != nil {
+		s.BadSegments++
+		return
+	}
+	s.SegmentsIn++
+	local := inet.HostPort{Addr: pkt.Dst, Port: seg.dstPort}
+	remote := inet.HostPort{Addr: pkt.Src, Port: seg.srcPort}
+	key := connKey{local: local, remote: remote}
+	if c, ok := s.conns[key]; ok {
+		c.handle(seg)
+		return
+	}
+	// New connection?
+	if seg.syn() && !seg.hasACK() {
+		if l, ok := s.listeners[seg.dstPort]; ok {
+			c := s.newConn(local, remote)
+			c.state = StateSynReceived
+			c.rcvNxt = seg.seq + 1
+			c.peerWnd = uint32(seg.window)
+			if seg.mss > 0 && int(seg.mss) < c.mss {
+				c.mss = int(seg.mss)
+			}
+			c.onEstablished = func(conn *Conn) {
+				if l.OnAccept != nil {
+					l.OnAccept(conn)
+				}
+			}
+			s.conns[key] = c
+			c.sendSegment(segment{flags: flagSYN | flagACK, seq: c.iss, ack: c.rcvNxt, mss: uint16(c.mss)})
+			return
+		}
+	}
+	// No socket: refuse with RST (unless the stray segment was itself RST).
+	if !seg.rst() {
+		s.RSTsSent++
+		rst := segment{srcPort: seg.dstPort, dstPort: seg.srcPort, flags: flagRST | flagACK,
+			seq: seg.ack, ack: seg.seq + seg.seqLen()}
+		s.sendRaw(pkt.Dst, pkt.Src, rst)
+	}
+}
+
+// Conns reports the number of live connections (tests, leak checks).
+func (s *Stack) Conns() int { return len(s.conns) }

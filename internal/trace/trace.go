@@ -1,0 +1,204 @@
+// Package trace is the passive observer's toolkit: a packet capture ring
+// and a TCP flow reassembler that turns sniffed IP packets back into
+// ordered byte streams — what an attacker (or auditor) runs on top of a
+// dot11.Monitor to actually *read* the traffic the broadcast medium hands
+// them (paper §1.1).
+package trace
+
+import (
+	"encoding/binary"
+
+	"repro/internal/inet"
+	"repro/internal/ipv4"
+	"repro/internal/sim"
+)
+
+// Record is one captured packet.
+type Record struct {
+	At  sim.Time
+	Raw []byte // serialised IPv4 packet
+}
+
+// Capture is a bounded ring of captured packets.
+type Capture struct {
+	buf   []Record
+	next  int
+	full  bool
+	Total uint64
+}
+
+// NewCapture creates a ring holding up to n packets.
+func NewCapture(n int) *Capture {
+	if n <= 0 {
+		n = 1024
+	}
+	return &Capture{buf: make([]Record, n)}
+}
+
+// Add stores a packet (copying it).
+func (c *Capture) Add(at sim.Time, raw []byte) {
+	c.Total++
+	c.buf[c.next] = Record{At: at, Raw: append([]byte(nil), raw...)}
+	c.next++
+	if c.next == len(c.buf) {
+		c.next = 0
+		c.full = true
+	}
+}
+
+// Records returns the captured packets in arrival order.
+func (c *Capture) Records() []Record {
+	if !c.full {
+		return c.buf[:c.next]
+	}
+	out := make([]Record, 0, len(c.buf))
+	out = append(out, c.buf[c.next:]...)
+	out = append(out, c.buf[:c.next]...)
+	return out
+}
+
+// FlowKey identifies one direction of a TCP conversation.
+type FlowKey struct {
+	Src, Dst inet.HostPort
+}
+
+// Reverse returns the opposite direction.
+func (k FlowKey) Reverse() FlowKey { return FlowKey{Src: k.Dst, Dst: k.Src} }
+
+// flowState reassembles one direction.
+type flowState struct {
+	established bool
+	nextSeq     uint32
+	data        []byte
+	// pending holds out-of-order segments by sequence number.
+	pending map[uint32][]byte
+	fin     bool
+}
+
+// Reassembler reconstructs TCP payload streams from raw IPv4 packets, the
+// way tcpflow/dsniff-era tools did. Checksums are not verified: a sniffer
+// takes what it hears.
+type Reassembler struct {
+	flows map[FlowKey]*flowState
+
+	// Packets counts packets offered; Segments counts TCP segments
+	// consumed into some flow.
+	Packets, Segments uint64
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{flows: make(map[FlowKey]*flowState)}
+}
+
+// AddPacket offers one raw IPv4 packet (e.g. a decrypted WEP body's LLC
+// payload, or a wired capture).
+func (r *Reassembler) AddPacket(raw []byte) {
+	pkt, err := ipv4.Unmarshal(raw)
+	if err != nil || pkt.Proto != ipv4.ProtoTCP || len(pkt.Payload) < 20 {
+		return
+	}
+	r.Packets++
+	seg := pkt.Payload
+	srcPort := inet.Port(binary.BigEndian.Uint16(seg[0:2]))
+	dstPort := inet.Port(binary.BigEndian.Uint16(seg[2:4]))
+	seq := binary.BigEndian.Uint32(seg[4:8])
+	flags := seg[13]
+	off := int(seg[12]>>4) * 4
+	if off < 20 || off > len(seg) {
+		return
+	}
+	payload := seg[off:]
+
+	key := FlowKey{
+		Src: inet.HostPort{Addr: pkt.Src, Port: srcPort},
+		Dst: inet.HostPort{Addr: pkt.Dst, Port: dstPort},
+	}
+	st := r.flows[key]
+	if st == nil {
+		st = &flowState{pending: make(map[uint32][]byte)}
+		r.flows[key] = st
+	}
+	const (
+		finFlag = 1 << 0
+		synFlag = 1 << 1
+	)
+	if flags&synFlag != 0 {
+		st.established = true
+		st.nextSeq = seq + 1
+		st.data = st.data[:0]
+		return
+	}
+	if !st.established {
+		// Mid-stream capture: adopt the first data segment's sequence.
+		st.established = true
+		st.nextSeq = seq
+	}
+	if len(payload) > 0 {
+		r.Segments++
+		st.insert(seq, payload)
+	}
+	if flags&finFlag != 0 {
+		st.fin = true
+	}
+}
+
+// insert places a segment, draining any newly contiguous pending data.
+func (st *flowState) insert(seq uint32, payload []byte) {
+	// Trim already-delivered prefix (retransmissions).
+	if delta := int32(st.nextSeq - seq); delta > 0 {
+		if int(delta) >= len(payload) {
+			return
+		}
+		payload = payload[delta:]
+		seq = st.nextSeq
+	}
+	if seq != st.nextSeq {
+		if _, dup := st.pending[seq]; !dup {
+			st.pending[seq] = append([]byte(nil), payload...)
+		}
+		return
+	}
+	st.data = append(st.data, payload...)
+	st.nextSeq += uint32(len(payload))
+	for {
+		next, ok := st.pending[st.nextSeq]
+		if !ok {
+			break
+		}
+		delete(st.pending, st.nextSeq)
+		st.data = append(st.data, next...)
+		st.nextSeq += uint32(len(next))
+	}
+}
+
+// Stream returns the reassembled bytes for a flow direction, and whether
+// its FIN was seen (stream complete).
+func (r *Reassembler) Stream(key FlowKey) (data []byte, complete bool) {
+	st, ok := r.flows[key]
+	if !ok {
+		return nil, false
+	}
+	return st.data, st.fin && len(st.pending) == 0
+}
+
+// Flows lists the observed flow directions.
+func (r *Reassembler) Flows() []FlowKey {
+	out := make([]FlowKey, 0, len(r.flows))
+	for k := range r.flows {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Streams concatenates all reassembled data across flows (the "grep the
+// capture" convenience).
+func (r *Reassembler) Streams() [][]byte {
+	out := make([][]byte, 0, len(r.flows))
+	for _, st := range r.flows {
+		if len(st.data) > 0 {
+			out = append(out, st.data)
+		}
+	}
+	return out
+}

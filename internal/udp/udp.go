@@ -1,0 +1,154 @@
+// Package udp implements the User Datagram Protocol over the simulated IPv4
+// stack. The VPN package's datagram carrier (experiment E6's alternative to
+// TCP-in-TCP) runs on it.
+package udp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/inet"
+	"repro/internal/ipv4"
+)
+
+// HeaderLen is the UDP header size.
+const HeaderLen = 8
+
+// Datagram is a parsed UDP datagram.
+type Datagram struct {
+	SrcPort, DstPort inet.Port
+	Payload          []byte
+}
+
+// marshal serialises with the pseudo-header checksum.
+func (d *Datagram) marshal(src, dst inet.Addr) []byte {
+	b := make([]byte, HeaderLen+len(d.Payload))
+	binary.BigEndian.PutUint16(b[0:2], uint16(d.SrcPort))
+	binary.BigEndian.PutUint16(b[2:4], uint16(d.DstPort))
+	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)))
+	copy(b[HeaderLen:], d.Payload)
+	sum := inet.PseudoHeaderSum(src, dst, ipv4.ProtoUDP, uint16(len(b)))
+	sum = inet.SumBytes(sum, b)
+	cs := inet.FinishChecksum(sum)
+	if cs == 0 {
+		cs = 0xffff
+	}
+	binary.BigEndian.PutUint16(b[6:8], cs)
+	return b
+}
+
+// errBad reports an unparseable or corrupt datagram.
+var errBad = errors.New("udp: bad datagram")
+
+// unmarshal parses and verifies a datagram.
+func unmarshal(src, dst inet.Addr, b []byte) (Datagram, error) {
+	if len(b) < HeaderLen {
+		return Datagram{}, errBad
+	}
+	length := binary.BigEndian.Uint16(b[4:6])
+	if int(length) < HeaderLen || int(length) > len(b) {
+		return Datagram{}, errBad
+	}
+	b = b[:length]
+	if binary.BigEndian.Uint16(b[6:8]) != 0 { // checksum present
+		sum := inet.PseudoHeaderSum(src, dst, ipv4.ProtoUDP, length)
+		sum = inet.SumBytes(sum, b)
+		if inet.FinishChecksum(sum) != 0 {
+			return Datagram{}, errBad
+		}
+	}
+	return Datagram{
+		SrcPort: inet.Port(binary.BigEndian.Uint16(b[0:2])),
+		DstPort: inet.Port(binary.BigEndian.Uint16(b[2:4])),
+		Payload: b[HeaderLen:],
+	}, nil
+}
+
+// Receiver consumes datagrams delivered to a bound socket.
+type Receiver func(src inet.HostPort, payload []byte)
+
+// Socket is a bound UDP endpoint.
+type Socket struct {
+	stack *Stack
+	port  inet.Port
+	recv  Receiver
+}
+
+// Port reports the bound local port.
+func (s *Socket) Port() inet.Port { return s.port }
+
+// SetReceiver installs the datagram callback.
+func (s *Socket) SetReceiver(r Receiver) { s.recv = r }
+
+// SendTo transmits a datagram to dst.
+func (s *Socket) SendTo(dst inet.HostPort, payload []byte) error {
+	src, err := s.stack.ip.SrcAddrFor(dst.Addr)
+	if err != nil {
+		return err
+	}
+	d := Datagram{SrcPort: s.port, DstPort: dst.Port, Payload: payload}
+	return s.stack.ip.Send(src, dst.Addr, ipv4.ProtoUDP, d.marshal(src, dst.Addr))
+}
+
+// Close releases the port.
+func (s *Socket) Close() { delete(s.stack.sockets, s.port) }
+
+// Stack is a host's UDP engine, bound to its IPv4 stack.
+type Stack struct {
+	ip        *ipv4.Stack
+	sockets   map[inet.Port]*Socket
+	nextEphem inet.Port
+
+	// RxDatagrams counts deliveries; RxBad counts checksum/format drops;
+	// RxNoSocket counts datagrams to unbound ports.
+	RxDatagrams, RxBad, RxNoSocket uint64
+}
+
+// NewStack attaches UDP to an IPv4 stack.
+func NewStack(ip *ipv4.Stack) *Stack {
+	s := &Stack{ip: ip, sockets: make(map[inet.Port]*Socket), nextEphem: 49152}
+	ip.Handle(ipv4.ProtoUDP, s.onPacket)
+	return s
+}
+
+// Bind claims a specific port (0 picks an ephemeral one).
+func (s *Stack) Bind(port inet.Port) (*Socket, error) {
+	if port == 0 {
+		port = s.ephemeral()
+	}
+	if _, taken := s.sockets[port]; taken {
+		return nil, fmt.Errorf("udp: port %d in use", port)
+	}
+	sock := &Socket{stack: s, port: port}
+	s.sockets[port] = sock
+	return sock, nil
+}
+
+func (s *Stack) ephemeral() inet.Port {
+	for {
+		p := s.nextEphem
+		s.nextEphem++
+		if s.nextEphem == 0 {
+			s.nextEphem = 49152
+		}
+		if _, taken := s.sockets[p]; !taken {
+			return p
+		}
+	}
+}
+
+func (s *Stack) onPacket(pkt *ipv4.Packet, in string) {
+	d, err := unmarshal(pkt.Src, pkt.Dst, pkt.Payload)
+	if err != nil {
+		s.RxBad++
+		return
+	}
+	sock, ok := s.sockets[d.DstPort]
+	if !ok || sock.recv == nil {
+		s.RxNoSocket++
+		return
+	}
+	s.RxDatagrams++
+	sock.recv(inet.HostPort{Addr: pkt.Src, Port: d.SrcPort}, d.Payload)
+}

@@ -1,0 +1,290 @@
+package vpn
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/inet"
+	"repro/internal/ipv4"
+	"repro/internal/sim"
+	"repro/internal/tcp"
+	"repro/internal/udp"
+)
+
+// ClientConfig configures a VPN client.
+type ClientConfig struct {
+	// PSK is the preestablished shared secret.
+	PSK []byte
+	// Server is the trusted endpoint, selected out of band — never
+	// discovered from the (possibly hostile) local network.
+	Server  inet.HostPort
+	Carrier Carrier
+	// IfaceName is the tun device name (default tun0).
+	IfaceName string
+	// SplitTunnelPrefixes, when non-empty, routes only these prefixes
+	// through the tunnel instead of all traffic. This violates the
+	// paper's requirement 4 and exists as the E3 ablation demonstrating
+	// why ("A solution that is local to one network will not protect the
+	// client reliably").
+	SplitTunnelPrefixes []inet.Prefix
+	// HandshakeTimeout defaults to 10 s.
+	HandshakeTimeout sim.Time
+}
+
+func (c *ClientConfig) fill() {
+	if c.IfaceName == "" {
+		c.IfaceName = "tun0"
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 10 * sim.Second
+	}
+}
+
+// Client state.
+type clientState int
+
+const (
+	stateIdle clientState = iota
+	stateHello
+	stateAuth
+	stateUp
+	stateDown
+)
+
+// Client is the paper's defended wireless client: once Up, every IP packet
+// it originates (beyond the carrier itself) crosses the wireless segment
+// only inside the authenticated tunnel.
+type Client struct {
+	cfg ClientConfig
+	ip  *ipv4.Stack
+
+	state    clientState
+	nonceC   []byte
+	seal     *sealer
+	open     *opener
+	stream   frameStream
+	tun      *tunNIC
+	tunnelIP inet.Addr
+	sendMsg  func(msg []byte)
+	abort    func()
+	timeout  *sim.Event
+
+	// OnUp fires when the tunnel is established (with the assigned IP).
+	OnUp func(ip inet.Addr)
+	// OnDown fires when the tunnel fails or is rejected.
+	OnDown func(err error)
+
+	// Counters.
+	PacketsIn, PacketsOut uint64
+}
+
+// ErrServerAuth means the endpoint failed mutual authentication — exactly
+// the case 802.11b cannot detect and the VPN can: something on the path is
+// not the trusted endpoint.
+var ErrServerAuth = errors.New("vpn: server failed authentication")
+
+// ErrHandshakeTimeout means the tunnel never came up.
+var ErrHandshakeTimeout = errors.New("vpn: handshake timed out")
+
+// TamperDetected reports record MAC failures observed by this client.
+func (c *Client) TamperDetected() uint64 {
+	if c.open == nil {
+		return 0
+	}
+	return c.open.MACFailures
+}
+
+// TunnelIP reports the assigned tunnel address (zero until Up).
+func (c *Client) TunnelIP() inet.Addr { return c.tunnelIP }
+
+// Up reports whether the tunnel is established.
+func (c *Client) Up() bool { return c.state == stateUp }
+
+// ConnectTCP brings the tunnel up over a TCP carrier (the paper's
+// PPP-over-SSH arrangement).
+func ConnectTCP(ip *ipv4.Stack, t *tcp.Stack, cfg ClientConfig) (*Client, error) {
+	cfg.fill()
+	c := &Client{cfg: cfg, ip: ip, state: stateIdle}
+	conn, err := t.Dial(cfg.Server)
+	if err != nil {
+		return nil, err
+	}
+	c.sendMsg = func(msg []byte) { _ = conn.Write(msg) }
+	c.abort = conn.Abort
+	conn.OnConnect = func() { c.begin() }
+	conn.OnData = func(b []byte) {
+		for _, m := range c.stream.push(b) {
+			c.handleMsg(m)
+		}
+	}
+	conn.OnClose = func(err error) {
+		if c.state != stateUp && c.state != stateDown {
+			c.fail(fmt.Errorf("vpn: carrier closed during handshake: %w", errOr(err)))
+		}
+	}
+	c.armTimeout()
+	return c, nil
+}
+
+// ConnectUDP brings the tunnel up over a UDP carrier.
+func ConnectUDP(ip *ipv4.Stack, u *udp.Stack, cfg ClientConfig) (*Client, error) {
+	cfg.fill()
+	c := &Client{cfg: cfg, ip: ip, state: stateIdle}
+	sock, err := u.Bind(0)
+	if err != nil {
+		return nil, err
+	}
+	var lastMsg []byte
+	c.sendMsg = func(msg []byte) {
+		lastMsg = msg
+		_ = sock.SendTo(cfg.Server, msg[2:]) // datagrams skip stream framing
+	}
+	c.abort = sock.Close
+	sock.SetReceiver(func(src inet.HostPort, payload []byte) {
+		if src != cfg.Server {
+			return
+		}
+		c.handleMsg(payload)
+	})
+	// UDP handshake retries: resend the last handshake message each second
+	// until the tunnel is up.
+	var retry func(n int)
+	retry = func(n int) {
+		if c.state == stateUp || c.state == stateDown || n > 8 {
+			return
+		}
+		if lastMsg != nil {
+			_ = sock.SendTo(cfg.Server, lastMsg[2:])
+		}
+		ip.Kernel().After(sim.Second, func() { retry(n + 1) })
+	}
+	ip.Kernel().After(sim.Second, func() { retry(0) })
+	c.begin()
+	c.armTimeout()
+	return c, nil
+}
+
+func errOr(err error) error {
+	if err == nil {
+		return errors.New("closed")
+	}
+	return err
+}
+
+func (c *Client) armTimeout() {
+	c.timeout = c.ip.Kernel().After(c.cfg.HandshakeTimeout, func() {
+		if c.state != stateUp {
+			c.fail(ErrHandshakeTimeout)
+		}
+	})
+}
+
+func (c *Client) begin() {
+	c.state = stateHello
+	c.nonceC = make([]byte, nonceLen)
+	c.ip.Kernel().RNG().Bytes(c.nonceC)
+	c.sendMsg(frame(msgClientHello, c.nonceC))
+}
+
+func (c *Client) fail(err error) {
+	if c.state == stateDown {
+		return
+	}
+	c.state = stateDown
+	if c.timeout != nil {
+		c.timeout.Cancel()
+	}
+	if c.abort != nil {
+		c.abort()
+	}
+	if c.OnDown != nil {
+		c.OnDown(err)
+	}
+}
+
+func (c *Client) handleMsg(msg []byte) {
+	if len(msg) == 0 {
+		return
+	}
+	typ, body := msg[0], msg[1:]
+	switch typ {
+	case msgServerHello:
+		if c.state != stateHello || len(body) != nonceLen+32 {
+			return
+		}
+		nonceS := body[:nonceLen]
+		// Authenticate the SERVER before anything else: paper §5.2 — a
+		// hotspot-provided endpoint proves nothing; ours must know the PSK.
+		want := authTag(c.cfg.PSK, "server", c.nonceC, nonceS)
+		if !bytes.Equal(body[nonceLen:], want) {
+			c.fail(ErrServerAuth)
+			return
+		}
+		keys := deriveKeys(c.cfg.PSK, c.nonceC, nonceS)
+		c.seal = newSealer(keys.encC2S, keys.macC2S[:])
+		c.open = newOpener(keys.encS2C, keys.macS2C[:])
+		c.state = stateAuth
+		c.sendMsg(frame(msgClientAuth, authTag(c.cfg.PSK, "client", c.nonceC, nonceS)))
+	case msgAssignIP:
+		if c.state != stateAuth {
+			return
+		}
+		plain, err := c.open.open(body)
+		if err != nil || len(plain) != 5 {
+			return
+		}
+		var ip inet.Addr
+		copy(ip[:], plain[:4])
+		c.tunnelIP = ip
+		bits := int(plain[4])
+		mask := inet.Prefix{Bits: bits}.Mask().Uint32()
+		c.bringUp(inet.Prefix{Addr: inet.AddrFromUint32(ip.Uint32() & mask), Bits: bits})
+	case msgData:
+		if c.state != stateUp {
+			return
+		}
+		inner, err := c.open.open(body)
+		if err != nil {
+			return
+		}
+		c.PacketsIn++
+		c.tun.deliver(inner)
+	}
+}
+
+// bringUp creates the tun device and installs the all-traffic routes.
+func (c *Client) bringUp(prefix inet.Prefix) {
+	if c.timeout != nil {
+		c.timeout.Cancel()
+	}
+	c.tun = newTunNIC(ethernet.MAC{0x02, 0xf0, 0x0d, 0x00, 0x02, 0x00}, func(ipPacket []byte) {
+		c.PacketsOut++
+		c.sendMsg(frame(msgData, c.seal.seal(ipPacket)))
+	})
+	c.ip.AddIface(c.cfg.IfaceName, c.tun, c.tunnelIP, prefix)
+
+	// Pin the carrier's path to the physical network first, then steer
+	// everything else into the tunnel.
+	if r, ok := c.ip.LookupRoute(c.cfg.Server.Addr); ok && r.Iface != c.cfg.IfaceName {
+		c.ip.AddRoute(ipv4.Route{
+			Prefix:  inet.Prefix{Addr: c.cfg.Server.Addr, Bits: 32},
+			Gateway: r.Gateway, Iface: r.Iface,
+		})
+	}
+	if len(c.cfg.SplitTunnelPrefixes) == 0 {
+		// Full tunnel, OpenVPN redirect-gateway style: two /1 routes beat
+		// any default route without touching it.
+		c.ip.AddRoute(ipv4.Route{Prefix: inet.MustParsePrefix("0.0.0.0/1"), Iface: c.cfg.IfaceName})
+		c.ip.AddRoute(ipv4.Route{Prefix: inet.MustParsePrefix("128.0.0.0/1"), Iface: c.cfg.IfaceName})
+	} else {
+		for _, p := range c.cfg.SplitTunnelPrefixes {
+			c.ip.AddRoute(ipv4.Route{Prefix: p, Iface: c.cfg.IfaceName})
+		}
+	}
+	c.state = stateUp
+	if c.OnUp != nil {
+		c.OnUp(c.tunnelIP)
+	}
+}

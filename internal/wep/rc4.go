@@ -1,0 +1,58 @@
+// Package wep implements Wired Equivalent Privacy as deployed on 802.11b:
+// the RC4 stream cipher, the per-frame IV + CRC-32 ICV encapsulation, and the
+// Fluhrer–Mantin–Shamir (FMS) related-key attack that tools like Airsnort
+// used to recover WEP keys passively — the paper's Section 4 attacker
+// "retrieved the WEP key via Airsnort".
+//
+// Everything here is implemented from scratch (including RC4, which left the
+// Go standard library's supported surface) because the point of the package
+// is to reproduce WEP's weaknesses faithfully, not to be secure.
+package wep
+
+// RC4 is the RC4 stream cipher state.
+type RC4 struct {
+	s    [256]byte
+	i, j uint8
+}
+
+// NewRC4 initialises the cipher with key using the RC4 key-scheduling
+// algorithm (KSA). Key length must be 1..256 bytes.
+func NewRC4(key []byte) *RC4 {
+	if len(key) == 0 || len(key) > 256 {
+		panic("wep: bad RC4 key size")
+	}
+	c := &RC4{}
+	for i := 0; i < 256; i++ {
+		c.s[i] = byte(i)
+	}
+	var j uint8
+	for i := 0; i < 256; i++ {
+		j += c.s[i] + key[i%len(key)]
+		c.s[i], c.s[j] = c.s[j], c.s[i]
+	}
+	return c
+}
+
+// XORKeyStream XORs src with the cipher's keystream into dst. dst and src may
+// overlap completely (in-place) but must not partially overlap.
+func (c *RC4) XORKeyStream(dst, src []byte) {
+	if len(dst) < len(src) {
+		panic("wep: dst shorter than src")
+	}
+	i, j := c.i, c.j
+	for k, b := range src {
+		i++
+		j += c.s[i]
+		c.s[i], c.s[j] = c.s[j], c.s[i]
+		dst[k] = b ^ c.s[c.s[i]+c.s[j]]
+	}
+	c.i, c.j = i, j
+}
+
+// Keystream returns the next n keystream bytes. Used by the FMS attack
+// verifier and keystream-reuse analysis.
+func (c *RC4) Keystream(n int) []byte {
+	out := make([]byte, n)
+	c.XORKeyStream(out, out)
+	return out
+}
