@@ -6,92 +6,60 @@
 //	go run ./cmd/roguesim -scenario vpn
 //	go run ./cmd/roguesim -scenario healthy -seed 7
 //	go run ./cmd/roguesim -scenario detect
+//
+// The scenarios themselves live in internal/core (RunScenario), where the
+// determinism tests replay them; this command only formats the outcome.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
-	"repro/internal/detect"
-	"repro/internal/dot11"
-	"repro/internal/phy"
-	"repro/internal/sim"
-	"repro/internal/wep"
 )
 
 func main() {
-	scenario := flag.String("scenario", "attack", "healthy | attack | vpn | detect")
+	scenario := flag.String("scenario", "attack", strings.Join(core.ScenarioNames(), " | "))
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	check := flag.Bool("check", false, "enable kernel invariant checking (panics on violation)")
+	digest := flag.Bool("digest", false, "print the trace digest after the run")
 	flag.Parse()
 
-	switch *scenario {
-	case "healthy":
-		runDownload(*seed, core.Config{Seed: *seed}, false)
-	case "attack":
-		cfg := core.Config{
-			Seed: *seed, WEPKey: wep.Key40FromString("SECRET"),
-			Rogue: true, RogueCloneBSSID: true,
-		}
-		rogueGeometry(&cfg)
-		runDownload(*seed, cfg, false)
-	case "vpn":
-		cfg := core.Config{
-			Seed: *seed, WEPKey: wep.Key40FromString("SECRET"),
-			Rogue: true, RogueCloneBSSID: true, VPNServer: true,
-		}
-		rogueGeometry(&cfg)
-		runDownload(*seed, cfg, true)
-	case "detect":
-		runDetect(*seed)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+	o, err := core.RunScenario(*scenario, *seed, *check)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-}
-
-func rogueGeometry(cfg *core.Config) {
-	cfg.APPos = phy.Position{X: 0, Y: 0}
-	cfg.VictimPos = phy.Position{X: 40, Y: 0}
-	cfg.RoguePos = phy.Position{X: 42, Y: 0}
-}
-
-func runDownload(seed uint64, cfg core.Config, withVPN bool) {
-	w := core.NewWorld(cfg)
-	cfg = w.Cfg // defaults filled in
+	cfg := o.World.Cfg // defaults filled in
 	fmt.Printf("scenario: SSID %q, AP ch %d", cfg.SSID, cfg.APChannel)
 	if cfg.Rogue {
 		fmt.Printf(", rogue ch %d (cloned BSSID %v)", cfg.RogueChannel, cfg.RogueCloneBSSID)
 	}
 	fmt.Println()
-
-	w.VictimConnect()
-	w.Run(10 * sim.Second)
-	fmt.Printf("t=%-6v victim associated: %v (channel %d)\n",
-		w.Kernel.Now().Duration().Round(1e6), w.VictimAssociated(), w.Victim.STA.BSS().Channel)
-	if cfg.Rogue {
-		fmt.Printf("t=%-6v victim is on the ROGUE AP: %v; rogue uplink to CORP: %v\n",
-			w.Kernel.Now().Duration().Round(1e6), w.VictimOnRogue(), w.Rogue.UplinkUp)
-	}
-	if withVPN {
-		up := false
-		w.EnableVictimVPN(nil, func(err error) {
-			if err != nil {
-				fmt.Println("VPN error:", err)
-				return
-			}
-			up = true
-		})
-		w.Run(20 * sim.Second)
-		fmt.Printf("t=%-6v VPN tunnel up: %v (tunnel IP %v)\n",
-			w.Kernel.Now().Duration().Round(1e6), up, w.VictimVPN.TunnelIP())
+	for _, m := range o.Milestones {
+		fmt.Printf("t=%-6v %s\n", m.At.Duration().Round(1e6), m.Msg)
 	}
 
-	var res core.DownloadResult
-	w.VictimDownload(func(r core.DownloadResult) { res = r })
-	w.Run(60 * sim.Second)
+	exitCode := 0
+	if *scenario == "detect" {
+		fmt.Printf("sensor analysed %d frames, raised %d alert(s)\n", o.FramesSeen, len(o.Alerts))
+		if len(o.Alerts) == 0 {
+			fmt.Println("no rogue detected (unexpected for a cloned BSSID)")
+			exitCode = 1
+		}
+	} else {
+		printDownload(o)
+	}
+	if *digest {
+		fmt.Printf("trace digest: %016x\n", o.Digest)
+	}
+	os.Exit(exitCode)
+}
 
+func printDownload(o *core.ScenarioOutcome) {
+	res := o.Download
 	fmt.Println()
 	fmt.Println("victim browses to the download page and runs md5sum:")
 	if res.Err != nil {
@@ -111,28 +79,10 @@ func runDownload(seed uint64, cfg core.Config, withVPN bool) {
 	default:
 		fmt.Printf("VERDICT: anomalous (tampered=%v md5ok=%v)\n", res.Tampered, res.MD5OK)
 	}
-	if cfg.Rogue && w.Rogue.Netsed != nil {
+	w := o.World
+	if w.Cfg.Rogue && w.Rogue.Netsed != nil {
 		fmt.Printf("(netsed: %d connection(s), %d substitution(s))\n",
 			w.Rogue.Netsed.Connections, w.Rogue.Netsed.ReplacementsIn)
-	}
-}
-
-func runDetect(seed uint64) {
-	cfg := core.Config{Seed: seed, Rogue: true, RogueCloneBSSID: true, RoguePureRelay: true}
-	rogueGeometry(&cfg)
-	w := core.NewWorld(cfg)
-	mon := dot11.NewMonitor(w.Medium.AddRadio(phy.RadioConfig{Name: "sensor", Pos: phy.Position{X: 20}, Channel: 1}))
-	d := detect.New(w.Kernel, detect.Config{})
-	d.Attach(mon)
-	detect.NewHopper(w.Kernel, mon, 200*sim.Millisecond)
-	d.OnAlert = func(a detect.Alert) { fmt.Println("ALERT:", a.String()) }
-
-	w.VictimConnect()
-	w.Run(60 * sim.Second)
-	fmt.Printf("sensor analysed %d frames, raised %d alert(s)\n", d.FramesSeen, len(d.Alerts))
-	if len(d.Alerts) == 0 {
-		fmt.Println("no rogue detected (unexpected for a cloned BSSID)")
-		os.Exit(1)
 	}
 }
 

@@ -131,7 +131,7 @@ type Client struct {
 // ARP frames to HandleFrame.
 func NewClient(k *sim.Kernel, nic ethernet.NIC, ip inet.Addr, cfg Config) *Client {
 	cfg.fill()
-	return &Client{
+	c := &Client{
 		kernel: k,
 		nic:    nic,
 		ip:     ip,
@@ -139,6 +139,33 @@ func NewClient(k *sim.Kernel, nic ethernet.NIC, ip inet.Addr, cfg Config) *Clien
 		cache:  make(map[inet.Addr]cacheEntry),
 		wait:   make(map[inet.Addr]*pending),
 	}
+	k.RegisterInvariant("arp/cache-consistency", c.checkConsistency)
+	return c
+}
+
+// checkConsistency is a sim invariant: cache entries can only have been
+// learned in the past, and every pending resolution is mid-retry with at
+// least one waiter. An unspecified cached address means learn()'s filter was
+// bypassed.
+func (c *Client) checkConsistency() error {
+	now := c.kernel.Now()
+	for ip, e := range c.cache {
+		if e.learned > now {
+			return errors.New("arp: cache entry for " + ip.String() + " learned in the future")
+		}
+		if ip.IsUnspecified() {
+			return errors.New("arp: cache entry for unspecified address")
+		}
+	}
+	for ip, p := range c.wait {
+		if p.attempts < 1 || p.attempts > c.cfg.MaxRetries {
+			return errors.New("arp: pending resolution for " + ip.String() + " with attempt count out of range")
+		}
+		if len(p.callbacks) == 0 {
+			return errors.New("arp: pending resolution for " + ip.String() + " with no waiters")
+		}
+	}
+	return nil
 }
 
 // IP reports the protocol address the client answers for.

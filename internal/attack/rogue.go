@@ -167,6 +167,7 @@ func NewRogueKit(k *sim.Kernel, medium *phy.Medium, pos phy.Position, cfg RogueK
 	if !cfg.DisableMITM {
 		// The paper's Netfilter redirect, verbatim.
 		kit.FW = netfilter.New()
+		kit.FW.RegisterInvariants(k)
 		kit.IP.AddHook(kit.FW)
 		cmd := "iptables -t nat -A PREROUTING -p tcp -d " + cfg.TargetIP.String() +
 			" --dport " + cfg.TargetPort.String() +

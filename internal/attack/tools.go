@@ -1,6 +1,9 @@
 package attack
 
 import (
+	"bytes"
+	"sort"
+
 	"repro/internal/dot11"
 	"repro/internal/ethernet"
 	"repro/internal/phy"
@@ -127,22 +130,28 @@ func NewMACHarvester(k *sim.Kernel, medium *phy.Medium, pos phy.Position, channe
 	return h
 }
 
-// ClientMACs lists harvested station addresses (most-active first is not
-// guaranteed; callers sort if they care).
+// ClientMACs lists harvested station addresses in ascending address order.
+// The order is deterministic: downstream attack steps (MAC cloning) act on
+// this list, so map-iteration order here would make runs seed-unstable.
 func (h *MACHarvester) ClientMACs() []ethernet.MAC {
 	out := make([]ethernet.MAC, 0, len(h.seen))
 	for m := range h.seen {
 		out = append(out, m)
 	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i][:], out[j][:]) < 0
+	})
 	return out
 }
 
-// Busiest returns the MAC with the most observed frames, if any.
+// Busiest returns the MAC with the most observed frames, if any. Ties break
+// toward the lowest address so the result is a pure function of the frames
+// observed, not of map iteration order.
 func (h *MACHarvester) Busiest() (ethernet.MAC, bool) {
 	var best ethernet.MAC
 	var n uint64
-	for m, c := range h.seen {
-		if c > n {
+	for _, m := range h.ClientMACs() {
+		if c := h.seen[m]; c > n {
 			best, n = m, c
 		}
 	}

@@ -1,0 +1,62 @@
+package auth8021x
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseEAP drives the EAP packet parser: arbitrary bytes must never
+// panic, and anything accepted must round-trip through the eap() builder.
+// (parseEAP tolerates trailing bytes beyond the declared length; eap()
+// re-encodes without them, so the round trip normalises that.)
+func FuzzParseEAP(f *testing.F) {
+	f.Add(eap(eapRequest, 1, eapTypeIdentity, nil))
+	f.Add(eap(eapResponse, 1, eapTypeIdentity, []byte("user1")))
+	f.Add(eap(eapRequest, 2, eapTypeMD5, bytes.Repeat([]byte{0xab}, 16)))
+	f.Add(eap(eapSuccess, 3, 0, nil))
+	f.Add(eap(eapFailure, 3, 0, nil))
+	f.Add([]byte{1, 1, 0, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		code, id, typ, data, err := parseEAP(b)
+		if err != nil {
+			return
+		}
+		// Success/Failure re-encode as 4-byte packets; Request/Response
+		// carry type+data. Other codes are preserved by parseEAP but eap()
+		// builds them bodiless, so only round-trip the four real codes.
+		if code != eapRequest && code != eapResponse && code != eapSuccess && code != eapFailure {
+			return
+		}
+		b2 := eap(code, id, typ, data)
+		code2, id2, typ2, data2, err := parseEAP(b2)
+		if err != nil {
+			t.Fatalf("re-parse of rebuilt EAP packet failed: %v", err)
+		}
+		if code2 != code || id2 != id {
+			t.Fatalf("EAP code/id round-trip unstable: %d/%d != %d/%d", code2, id2, code, id)
+		}
+		if code == eapRequest || code == eapResponse {
+			if typ2 != typ || !bytes.Equal(data2, data) {
+				t.Fatalf("EAP type/data round-trip unstable")
+			}
+		}
+	})
+}
+
+// FuzzEAPOL checks the EAPOL framing layer feeding parseEAP, as the
+// authenticator's onEAPOL consumes both in sequence.
+func FuzzEAPOL(f *testing.F) {
+	f.Add(eapol(eapolStart, nil))
+	f.Add(eapol(eapolEAPPacket, eap(eapResponse, 1, eapTypeIdentity, []byte("user1"))))
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if len(b) < 2 {
+			return
+		}
+		// Mirror onEAPOL's framing: version || type || body, where an
+		// EAP-Packet body goes to parseEAP. Must not panic on anything.
+		if b[1] == eapolEAPPacket {
+			_, _, _, _, _ = parseEAP(b[2:])
+		}
+	})
+}

@@ -1,0 +1,35 @@
+// Package check is the correctness layer's test harness: it replays whole
+// simulations and compares their trace digests (sim.Kernel.Digest) to prove
+// that every run is a pure function of its seed. Any hidden nondeterminism —
+// map-iteration order reaching the wire, wall-clock leakage, cross-world
+// shared state — shows up as a digest divergence here long before it shows
+// up as an unreproducible experiment.
+package check
+
+import "testing"
+
+// AssertDeterministic runs build twice for every seed and fails the test if
+// the two runs' trace digests differ, or if any digest is zero (a zero
+// digest means no events were mixed — the run did nothing, which is never
+// what a scenario intends).
+//
+// build must construct a fresh simulation from the seed, run it to
+// completion, and return the kernel's final Digest(). It must not share
+// state between calls.
+func AssertDeterministic(t testing.TB, build func(seed uint64) uint64, seeds ...uint64) {
+	t.Helper()
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	for _, seed := range seeds {
+		first := build(seed)
+		second := build(seed)
+		if first != second {
+			t.Errorf("seed %d: trace digest diverged across identical runs: %016x != %016x",
+				seed, first, second)
+		}
+		if first == 0 {
+			t.Errorf("seed %d: zero trace digest — the run fired no events", seed)
+		}
+	}
+}

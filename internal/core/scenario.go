@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/detect"
+	"repro/internal/phy"
+	"repro/internal/sim"
+	"repro/internal/wep"
+)
+
+// This file defines the named end-to-end scenarios that cmd/roguesim runs
+// and the determinism harness (internal/check) replays. Keeping them here —
+// rather than inline in main() — means the binary and the tests execute the
+// exact same event sequence, so a digest mismatch in tests is a real
+// regression in what the demo does.
+
+// Milestone is one timestamped line of scenario narrative.
+type Milestone struct {
+	At  sim.Time
+	Msg string
+}
+
+// ScenarioOutcome is everything a scenario run produced. Which fields are
+// meaningful depends on the scenario: Download for healthy/attack/vpn, the
+// detector fields for detect.
+type ScenarioOutcome struct {
+	Name  string
+	World *World
+	// Digest is the kernel's trace digest at the end of the run — the value
+	// check.AssertDeterministic compares across replays.
+	Digest     uint64
+	Milestones []Milestone
+
+	// Download scenarios.
+	Download DownloadResult
+	VPNUp    bool
+	VPNErr   error
+
+	// Detect scenario.
+	Alerts     []detect.Alert
+	FramesSeen uint64
+}
+
+// ScenarioNames lists every runnable scenario, in a fixed order.
+func ScenarioNames() []string { return []string{"healthy", "attack", "vpn", "detect"} }
+
+// ScenarioConfig builds the world configuration for a named scenario.
+func ScenarioConfig(name string, seed uint64) (Config, error) {
+	cfg := Config{Seed: seed}
+	switch name {
+	case "healthy":
+	case "attack":
+		cfg.WEPKey = wep.Key40FromString("SECRET")
+		cfg.Rogue = true
+		cfg.RogueCloneBSSID = true
+		rogueGeometry(&cfg)
+	case "vpn":
+		cfg.WEPKey = wep.Key40FromString("SECRET")
+		cfg.Rogue = true
+		cfg.RogueCloneBSSID = true
+		cfg.VPNServer = true
+		rogueGeometry(&cfg)
+	case "detect":
+		cfg.Rogue = true
+		cfg.RogueCloneBSSID = true
+		cfg.RoguePureRelay = true
+		rogueGeometry(&cfg)
+	default:
+		return Config{}, fmt.Errorf("core: unknown scenario %q", name)
+	}
+	return cfg, nil
+}
+
+// rogueGeometry is the demo placement: victim at the coverage edge of the
+// real AP, rogue right next to the victim (paper §4's "stronger signal").
+func rogueGeometry(cfg *Config) {
+	cfg.APPos = phy.Position{X: 0, Y: 0}
+	cfg.VictimPos = phy.Position{X: 40, Y: 0}
+	cfg.RoguePos = phy.Position{X: 42, Y: 0}
+}
+
+// RunScenario executes a named scenario to completion. checks enables
+// kernel invariant checking for the run (violations panic).
+func RunScenario(name string, seed uint64, checks bool) (*ScenarioOutcome, error) {
+	cfg, err := ScenarioConfig(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Checks = checks
+	if name == "detect" {
+		return runDetectScenario(name, cfg), nil
+	}
+	return runDownloadScenario(name, cfg), nil
+}
+
+func (o *ScenarioOutcome) milestonef(format string, args ...any) {
+	o.Milestones = append(o.Milestones, Milestone{
+		At:  o.World.Kernel.Now(),
+		Msg: fmt.Sprintf(format, args...),
+	})
+}
+
+func runDownloadScenario(name string, cfg Config) *ScenarioOutcome {
+	w := NewWorld(cfg)
+	o := &ScenarioOutcome{Name: name, World: w}
+
+	w.VictimConnect()
+	w.Run(10 * sim.Second)
+	o.milestonef("victim associated: %v (channel %d)", w.VictimAssociated(), w.Victim.STA.BSS().Channel)
+	if w.Cfg.Rogue {
+		o.milestonef("victim is on the ROGUE AP: %v; rogue uplink to CORP: %v",
+			w.VictimOnRogue(), w.Rogue.UplinkUp)
+	}
+	if w.Cfg.VPNServer {
+		w.EnableVictimVPN(nil, func(err error) {
+			if err != nil {
+				o.VPNErr = err
+				return
+			}
+			o.VPNUp = true
+		})
+		w.Run(20 * sim.Second)
+		if o.VPNUp {
+			o.milestonef("VPN tunnel up: true (tunnel IP %v)", w.VictimVPN.TunnelIP())
+		} else {
+			o.milestonef("VPN tunnel up: false (err %v)", o.VPNErr)
+		}
+	}
+
+	w.VictimDownload(func(r DownloadResult) { o.Download = r })
+	w.Run(60 * sim.Second)
+	o.Digest = w.Kernel.Digest()
+	return o
+}
+
+func runDetectScenario(name string, cfg Config) *ScenarioOutcome {
+	w := NewWorld(cfg)
+	o := &ScenarioOutcome{Name: name, World: w}
+
+	mon := w.NewSensor("sensor", phy.Position{X: 20}, 1)
+	d := detect.New(w.Kernel, detect.Config{})
+	d.Attach(mon)
+	detect.NewHopper(w.Kernel, mon, 200*sim.Millisecond)
+	d.OnAlert = func(a detect.Alert) { o.milestonef("ALERT: %v", a) }
+
+	w.VictimConnect()
+	w.Run(60 * sim.Second)
+	o.Alerts = d.Alerts
+	o.FramesSeen = d.FramesSeen
+	o.Digest = w.Kernel.Digest()
+	return o
+}

@@ -50,6 +50,13 @@ type Config struct {
 	Seed uint64
 	SSID string // default "CORP"
 
+	// Checks enables the kernel's invariant checking (sim.Kernel.
+	// SetInvariantChecks) for this world. It must be decided at
+	// construction: components install extra accounting (e.g. the WEP IV
+	// tracker) only when checks are on. Tests turn it on; cmd/roguesim
+	// exposes it as -check.
+	Checks bool
+
 	// WEPKey protects the wireless network when set ("SECRET" in Fig. 1).
 	WEPKey wep.Key
 	// MACFilter restricts the real AP to the victim's (and, if cloned,
@@ -162,6 +169,7 @@ func NewWorld(cfg Config) *World {
 	cfg.fill()
 	w := &World{Cfg: cfg}
 	w.Kernel = sim.NewKernel(cfg.Seed)
+	w.Kernel.SetInvariantChecks(cfg.Checks)
 	w.Medium = phy.NewMedium(w.Kernel, phy.Config{ShadowingSigmaDB: cfg.ShadowingSigmaDB})
 
 	w.CorpSwitch = ethernet.NewSwitch(w.Kernel, &w.Alloc, ethernet.SwitchConfig{})
@@ -301,6 +309,12 @@ func (w *World) buildRogue() {
 	if err := w.RogueWeb.Start(80); err != nil {
 		panic(err)
 	}
+}
+
+// NewSensor adds a monitor-mode ("rfmon") radio to the world — the WIDS
+// sensor the detect scenario and tests attach a Detector to.
+func (w *World) NewSensor(name string, pos phy.Position, ch phy.Channel) *dot11.Monitor {
+	return dot11.NewMonitor(w.Medium.AddRadio(phy.RadioConfig{Name: name, Pos: pos, Channel: ch}))
 }
 
 // EnableVictimVPN brings up the paper's defense on the victim: a tunnel to

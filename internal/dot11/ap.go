@@ -2,6 +2,7 @@ package dot11
 
 import (
 	"bytes"
+	"sort"
 
 	"repro/internal/ethernet"
 	"repro/internal/phy"
@@ -79,6 +80,11 @@ func NewAP(k *sim.Kernel, radio *phy.Radio, cfg APConfig) *AP {
 	if cfg.IVSource == nil {
 		cfg.IVSource = &wep.SequentialIV{}
 	}
+	if k.InvariantChecksEnabled() && len(cfg.WEPKey) > 0 {
+		t := wep.NewIVTracker(cfg.IVSource, len(cfg.WEPKey))
+		cfg.IVSource = t
+		k.RegisterInvariant("wep/iv-policy-ap", t.Check)
+	}
 	radio.SetChannel(cfg.Channel)
 	ap := &AP{
 		entity:   newEntity(k, radio, cfg.Rate, cfg.BSSID),
@@ -118,7 +124,8 @@ func (ap *AP) AttachUplink(p *ethernet.Port) {
 	p.SetReceiver(ap.onUplinkFrame)
 }
 
-// AssociatedStations lists currently associated client MACs.
+// AssociatedStations lists currently associated client MACs in ascending
+// address order (deterministic regardless of map iteration).
 func (ap *AP) AssociatedStations() []ethernet.MAC {
 	var out []ethernet.MAC
 	for mac, st := range ap.stations {
@@ -126,6 +133,9 @@ func (ap *AP) AssociatedStations() []ethernet.MAC {
 			out = append(out, mac)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		return bytes.Compare(out[i][:], out[j][:]) < 0
+	})
 	return out
 }
 

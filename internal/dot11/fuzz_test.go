@@ -1,0 +1,135 @@
+package dot11
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ethernet"
+)
+
+// FuzzFrame checks the 802.11 MAC header codec: any input either fails to
+// parse or round-trips decode→encode→decode to an identical frame without
+// panicking. (The re-encoded bytes may legitimately differ from the input —
+// Marshal zeroes the duration field and the protocol-version bits.)
+func FuzzFrame(f *testing.F) {
+	beacon := Frame{
+		Type: TypeManagement, Subtype: SubtypeBeacon,
+		Addr1: ethernet.BroadcastMAC,
+		Addr2: ethernet.MustParseMAC("02:aa:bb:cc:dd:01"),
+		Addr3: ethernet.MustParseMAC("02:aa:bb:cc:dd:01"),
+		Seq:   7,
+		Body:  (&BeaconBody{BeaconInterval: 100, Capability: CapESS, SSID: "CORP", Channel: 1}).Marshal(),
+	}
+	data := Frame{
+		Type: TypeData, ToDS: true, Protected: true, Retry: true,
+		Addr1: ethernet.MustParseMAC("02:aa:bb:cc:dd:01"),
+		Addr2: ethernet.MustParseMAC("02:00:00:00:03:01"),
+		Addr3: ethernet.MustParseMAC("02:00:00:00:99:01"),
+		Seq:   4095, Frag: 15,
+		Body: []byte{1, 2, 3, 4},
+	}
+	deauth := Frame{
+		Type: TypeManagement, Subtype: SubtypeDeauth,
+		Body: (&ReasonBody{Reason: ReasonDeauthLeaving}).Marshal(),
+	}
+	f.Add(beacon.Marshal())
+	f.Add(data.Marshal())
+	f.Add(deauth.Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, headerLen))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		f1, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		_ = f1.String()
+		b2 := f1.Marshal()
+		f2, err := Unmarshal(b2)
+		if err != nil {
+			t.Fatalf("re-decode of marshalled frame failed: %v", err)
+		}
+		if f1.Type != f2.Type || f1.Subtype != f2.Subtype ||
+			f1.ToDS != f2.ToDS || f1.FromDS != f2.FromDS ||
+			f1.Retry != f2.Retry || f1.Protected != f2.Protected ||
+			f1.Addr1 != f2.Addr1 || f1.Addr2 != f2.Addr2 || f1.Addr3 != f2.Addr3 ||
+			f1.Seq != f2.Seq || f1.Frag != f2.Frag || !bytes.Equal(f1.Body, f2.Body) {
+			t.Fatalf("frame round-trip unstable:\n first %+v\nsecond %+v", f1, f2)
+		}
+		if !bytes.Equal(b2, f2.Marshal()) {
+			t.Fatal("second encode differs from first")
+		}
+	})
+}
+
+// FuzzManagementBodies feeds arbitrary bytes to every management-body parser
+// and round-trips whatever parses.
+func FuzzManagementBodies(f *testing.F) {
+	f.Add((&BeaconBody{Timestamp: 1 << 40, BeaconInterval: 100, Capability: CapESS | CapPrivacy, SSID: "CORP", Channel: 6}).Marshal())
+	f.Add((&ProbeReqBody{SSID: "CORP"}).Marshal())
+	f.Add((&AuthBody{Algorithm: AuthSharedKey, Seq: 2, Challenge: bytes.Repeat([]byte{0x5a}, 128)}).Marshal())
+	f.Add((&AssocReqBody{Capability: CapESS, SSID: "CORP"}).Marshal())
+	f.Add((&AssocRespBody{Status: StatusSuccess, AID: 1}).Marshal())
+	f.Add((&ReasonBody{Reason: ReasonClass3NotAssoc}).Marshal())
+	f.Add([]byte{0, 255})
+
+	f.Fuzz(func(t *testing.T, p []byte) {
+		if b, err := UnmarshalBeaconBody(p); err == nil {
+			b2, err := UnmarshalBeaconBody(b.Marshal())
+			if err != nil {
+				t.Fatalf("beacon re-decode: %v", err)
+			}
+			if b.Timestamp != b2.Timestamp || b.BeaconInterval != b2.BeaconInterval ||
+				b.Capability != b2.Capability || b.SSID != b2.SSID || b.Channel != b2.Channel {
+				t.Fatalf("beacon body round-trip unstable: %+v != %+v", b, b2)
+			}
+		}
+		if b, err := UnmarshalProbeReqBody(p); err == nil {
+			if b2, err := UnmarshalProbeReqBody(b.Marshal()); err != nil || b != b2 {
+				t.Fatalf("probe-req round-trip unstable: %+v %v", b2, err)
+			}
+		}
+		if b, err := UnmarshalAuthBody(p); err == nil {
+			b2, err := UnmarshalAuthBody(b.Marshal())
+			if err != nil {
+				t.Fatalf("auth re-decode: %v", err)
+			}
+			if b.Algorithm != b2.Algorithm || b.Seq != b2.Seq || b.Status != b2.Status ||
+				!bytes.Equal(b.Challenge, b2.Challenge) {
+				t.Fatalf("auth body round-trip unstable: %+v != %+v", b, b2)
+			}
+		}
+		if b, err := UnmarshalAssocReqBody(p); err == nil {
+			if b2, err := UnmarshalAssocReqBody(b.Marshal()); err != nil || b != b2 {
+				t.Fatalf("assoc-req round-trip unstable: %+v %v", b2, err)
+			}
+		}
+		if b, err := UnmarshalAssocRespBody(p); err == nil {
+			if b2, err := UnmarshalAssocRespBody(b.Marshal()); err != nil || b != b2 {
+				t.Fatalf("assoc-resp round-trip unstable: %+v %v", b2, err)
+			}
+		}
+		if b, err := UnmarshalReasonBody(p); err == nil {
+			if b2, err := UnmarshalReasonBody(b.Marshal()); err != nil || b != b2 {
+				t.Fatalf("reason round-trip unstable: %+v %v", b2, err)
+			}
+		}
+	})
+}
+
+// FuzzLLC checks the LLC/SNAP (de)encapsulation pair.
+func FuzzLLC(f *testing.F) {
+	f.Add(EncapsulateLLC(ethernet.TypeIPv4, []byte("payload")))
+	f.Add(EncapsulateLLC(ethernet.TypeARP, nil))
+	f.Add([]byte{0xaa, 0xaa, 0x03})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		typ, payload, err := DecapsulateLLC(b)
+		if err != nil {
+			return
+		}
+		typ2, payload2, err := DecapsulateLLC(EncapsulateLLC(typ, payload))
+		if err != nil || typ2 != typ || !bytes.Equal(payload, payload2) {
+			t.Fatalf("LLC round-trip unstable (err %v)", err)
+		}
+	})
+}

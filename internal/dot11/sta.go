@@ -1,6 +1,9 @@
 package dot11
 
 import (
+	"bytes"
+	"sort"
+
 	"repro/internal/ethernet"
 	"repro/internal/phy"
 	"repro/internal/sim"
@@ -129,6 +132,11 @@ func NewSTA(k *sim.Kernel, radio *phy.Radio, cfg STAConfig) *STA {
 	if cfg.IVSource == nil {
 		cfg.IVSource = &wep.SequentialIV{}
 	}
+	if k.InvariantChecksEnabled() && len(cfg.WEPKey) > 0 {
+		t := wep.NewIVTracker(cfg.IVSource, len(cfg.WEPKey))
+		cfg.IVSource = t
+		k.RegisterInvariant("wep/iv-policy-sta", t.Check)
+	}
 	s := &STA{
 		entity: newEntity(k, radio, cfg.Rate, cfg.MAC),
 		cfg:    cfg,
@@ -213,11 +221,26 @@ func (s *STA) finishScan() {
 	s.join(best)
 }
 
-// pickBSS applies the join policy to scan results.
+// pickBSS applies the join policy to scan results. Candidates are compared
+// in sorted (BSSID, channel) order so that ties — e.g. a cloned BSSID at the
+// exact same RSSI — resolve the same way every run, keeping the simulation a
+// pure function of the seed rather than of map iteration order.
 func (s *STA) pickBSS() (BSS, bool) {
+	keys := make([]scanKey, 0, len(s.scanResults))
+	for k := range s.scanResults {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if c := bytes.Compare(a.bssid[:], b.bssid[:]); c != 0 {
+			return c < 0
+		}
+		return a.channel < b.channel
+	})
 	var best BSS
 	found := false
-	for _, b := range s.scanResults {
+	for _, k := range keys {
+		b := s.scanResults[k]
 		if b.SSID != s.cfg.SSID {
 			continue
 		}

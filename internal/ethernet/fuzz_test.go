@@ -1,0 +1,58 @@
+package ethernet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrame checks the Ethernet II codec: decode→encode→decode must be
+// stable and panic-free for any input.
+func FuzzFrame(f *testing.F) {
+	seed := Frame{
+		Dst:     MustParseMAC("02:aa:bb:cc:dd:01"),
+		Src:     MustParseMAC("02:00:00:00:03:01"),
+		Type:    TypeIPv4,
+		Payload: []byte("ip packet bytes"),
+	}
+	f.Add(seed.Marshal())
+	f.Add((&Frame{Dst: BroadcastMAC, Type: TypeARP}).Marshal())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x00}, HeaderLen-1))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		f1, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		b2 := f1.Marshal()
+		if !bytes.Equal(b2, b[:f1.WireLen()]) {
+			t.Fatalf("re-encode differs from input: %x != %x", b2, b)
+		}
+		f2, err := Unmarshal(b2)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if f1.Dst != f2.Dst || f1.Src != f2.Src || f1.Type != f2.Type || !bytes.Equal(f1.Payload, f2.Payload) {
+			t.Fatalf("frame round-trip unstable: %+v != %+v", f1, f2)
+		}
+	})
+}
+
+// FuzzParseMAC checks the textual MAC parser against its formatter.
+func FuzzParseMAC(f *testing.F) {
+	f.Add("02:aa:bb:cc:dd:01")
+	f.Add("ff:ff:ff:ff:ff:ff")
+	f.Add("02-aa-bb-cc-dd-01")
+	f.Add("")
+	f.Add("02:aa:bb:cc:dd")
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMAC(s)
+		if err != nil {
+			return
+		}
+		m2, err := ParseMAC(m.String())
+		if err != nil || m2 != m {
+			t.Fatalf("ParseMAC(String()) round-trip failed: %v %v != %v", err, m2, m)
+		}
+	})
+}

@@ -104,6 +104,7 @@ func (p *Port) deliver(f Frame) {
 		return
 	}
 	if p.promiscuous || f.Dst == p.mac || f.Dst.IsMulticast() {
+		p.kernel.MixDigest("eth/rx", f.Payload)
 		p.recv(f)
 	}
 }

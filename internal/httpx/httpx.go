@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -64,13 +65,21 @@ func reasonFor(status int) string {
 }
 
 // marshal serialises the response with Content-Length and close semantics.
+// Headers are emitted in sorted order: map iteration order would put
+// different bytes on the wire run to run, which breaks trace-digest
+// determinism (and did, before sim.Kernel.Digest existed to catch it).
 func (r *Response) marshal() []byte {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.Status, r.Reason)
 	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(r.Body))
 	fmt.Fprintf(&b, "Connection: close\r\n")
-	for k, v := range r.Headers {
-		fmt.Fprintf(&b, "%s: %s\r\n", k, v)
+	keys := make([]string, 0, len(r.Headers))
+	for k := range r.Headers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, r.Headers[k])
 	}
 	b.WriteString("\r\n")
 	b.Write(r.Body)

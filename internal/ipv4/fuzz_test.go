@@ -1,0 +1,63 @@
+package ipv4
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/inet"
+)
+
+// FuzzPacket checks the IPv4 header codec. Unmarshal validates version, IHL,
+// header checksum, and total length; anything it accepts must round-trip.
+func FuzzPacket(f *testing.F) {
+	p := Packet{
+		TOS: 0, ID: 7, DF: true, TTL: DefaultTTL, Proto: ProtoTCP,
+		Src:     inet.MustParseAddr("10.0.0.3"),
+		Dst:     inet.MustParseAddr("198.18.0.80"),
+		Payload: []byte("segment"),
+	}
+	f.Add(p.Marshal())
+	icmpPkt := Packet{TTL: 1, Proto: ProtoICMP, Payload: (&ICMPMessage{Type: ICMPEchoRequest, ID: 1, Seq: 1}).Marshal()}
+	f.Add(icmpPkt.Marshal())
+	f.Add([]byte{0x45})
+	f.Add(bytes.Repeat([]byte{0x44}, HeaderLen))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p1, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		_ = p1.String()
+		b2 := p1.Marshal()
+		p2, err := Unmarshal(b2)
+		if err != nil {
+			t.Fatalf("re-decode of marshalled packet failed: %v", err)
+		}
+		if p1.TOS != p2.TOS || p1.ID != p2.ID || p1.DF != p2.DF || p1.TTL != p2.TTL ||
+			p1.Proto != p2.Proto || p1.Src != p2.Src || p1.Dst != p2.Dst ||
+			!bytes.Equal(p1.Payload, p2.Payload) {
+			t.Fatalf("packet round-trip unstable:\n first %+v\nsecond %+v", p1, p2)
+		}
+	})
+}
+
+// FuzzICMP checks the ICMP codec the echo responder uses.
+func FuzzICMP(f *testing.F) {
+	f.Add((&ICMPMessage{Type: ICMPEchoRequest, ID: 1, Seq: 2, Data: []byte("ping")}).Marshal())
+	f.Add((&ICMPMessage{Type: ICMPTimeExceeded, Code: 0}).Marshal())
+	f.Add([]byte{8, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m1, ok := UnmarshalICMP(b)
+		if !ok {
+			return
+		}
+		m2, ok := UnmarshalICMP(m1.Marshal())
+		if !ok {
+			t.Fatal("re-decode of marshalled ICMP message failed")
+		}
+		if m1.Type != m2.Type || m1.Code != m2.Code || m1.ID != m2.ID || m1.Seq != m2.Seq ||
+			!bytes.Equal(m1.Data, m2.Data) {
+			t.Fatalf("ICMP round-trip unstable: %+v != %+v", m1, m2)
+		}
+	})
+}

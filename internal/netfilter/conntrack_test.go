@@ -1,0 +1,199 @@
+package netfilter
+
+import (
+	"testing"
+
+	"repro/internal/inet"
+	"repro/internal/ipv4"
+)
+
+// traverse pushes a packet through the hooks a forwarded packet visits.
+func traverse(t *Table, pkt *ipv4.Packet, in, out string) ipv4.Verdict {
+	for _, point := range []ipv4.HookPoint{ipv4.HookPrerouting, ipv4.HookForward, ipv4.HookPostrouting} {
+		if t.Filter(point, pkt, in, out) == ipv4.VerdictDrop {
+			return ipv4.VerdictDrop
+		}
+	}
+	return ipv4.VerdictAccept
+}
+
+func hp(addr string, port inet.Port) inet.HostPort {
+	return inet.HostPort{Addr: inet.MustParseAddr(addr), Port: port}
+}
+
+func tuple(t *testing.T, pkt *ipv4.Packet) (src, dst inet.HostPort) {
+	t.Helper()
+	sp, dp, ok := transportPorts(pkt)
+	if !ok {
+		t.Fatal("packet lost its transport header")
+	}
+	return inet.HostPort{Addr: pkt.Src, Port: sp}, inet.HostPort{Addr: pkt.Dst, Port: dp}
+}
+
+// TestConntrackChainedNAT covers a flow that is both DNATed (PREROUTING
+// redirect into a proxy) and SNATed (POSTROUTING masquerade) — the paper's
+// gateway setup plus masquerading. Every packet after the first must get the
+// full chained translation from conntrack alone, and replies must be fully
+// un-translated, in both stage orders.
+func TestConntrackChainedNAT(t *testing.T) {
+	cases := []struct {
+		name      string
+		rules     []string
+		wantSrc   inet.HostPort // forward packet, post-traversal
+		wantDst   inet.HostPort
+		replySrc  inet.HostPort // reply enters with the translated tuple reversed
+		replyDst  inet.HostPort
+		unSrc     inet.HostPort // reply after reverse translation
+		unDst     inet.HostPort
+		wantPairs int // conntrack entries after first packet
+	}{
+		{
+			name: "dnat-only",
+			rules: []string{
+				"iptables -t nat -A PREROUTING -p tcp -d 198.18.0.80 --dport 80 -j DNAT --to 10.0.0.201:10101",
+			},
+			wantSrc: hp("10.0.0.3", 49152), wantDst: hp("10.0.0.201", 10101),
+			replySrc: hp("10.0.0.201", 10101), replyDst: hp("10.0.0.3", 49152),
+			unSrc: hp("198.18.0.80", 80), unDst: hp("10.0.0.3", 49152),
+			wantPairs: 2,
+		},
+		{
+			name: "snat-only",
+			rules: []string{
+				"iptables -t nat -A POSTROUTING -o eth1 -j SNAT --to 10.0.0.200",
+			},
+			wantSrc: hp("10.0.0.200", 49152), wantDst: hp("198.18.0.80", 80),
+			replySrc: hp("198.18.0.80", 80), replyDst: hp("10.0.0.200", 49152),
+			unSrc: hp("198.18.0.80", 80), unDst: hp("10.0.0.3", 49152),
+			wantPairs: 2,
+		},
+		{
+			name: "dnat-plus-snat-one-flow",
+			rules: []string{
+				"iptables -t nat -A PREROUTING -p tcp -d 198.18.0.80 --dport 80 -j DNAT --to 10.0.0.201:10101",
+				"iptables -t nat -A POSTROUTING -o eth1 -j SNAT --to 10.0.0.200",
+			},
+			wantSrc: hp("10.0.0.200", 49152), wantDst: hp("10.0.0.201", 10101),
+			replySrc: hp("10.0.0.201", 10101), replyDst: hp("10.0.0.200", 49152),
+			unSrc: hp("198.18.0.80", 80), unDst: hp("10.0.0.3", 49152),
+			wantPairs: 4,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			table := New()
+			for _, r := range tc.rules {
+				if _, err := table.ParseIptables(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// First packet: translated by the NAT rules.
+			first := fuzzPacket("10.0.0.3", "198.18.0.80", 49152, 80)
+			traverse(table, first, "wlan0", "eth1")
+			src, dst := tuple(t, first)
+			if src != tc.wantSrc || dst != tc.wantDst {
+				t.Fatalf("first packet: %v->%v, want %v->%v", src, dst, tc.wantSrc, tc.wantDst)
+			}
+			if got := table.ConntrackLen(); got != tc.wantPairs {
+				t.Fatalf("conntrack entries = %d, want %d", got, tc.wantPairs)
+			}
+			if err := table.CheckConntrack(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Second packet: identical tuple, must be translated identically
+			// by conntrack alone (all NAT stages, not just the first).
+			second := fuzzPacket("10.0.0.3", "198.18.0.80", 49152, 80)
+			traverse(table, second, "wlan0", "eth1")
+			src, dst = tuple(t, second)
+			if src != tc.wantSrc || dst != tc.wantDst {
+				t.Fatalf("second packet: %v->%v, want %v->%v (conntrack must apply the full chain)",
+					src, dst, tc.wantSrc, tc.wantDst)
+			}
+
+			// Reply: reversed translated tuple, must be fully un-translated.
+			reply := fuzzPacket(tc.replySrc.Addr.String(), tc.replyDst.Addr.String(),
+				tc.replySrc.Port, tc.replyDst.Port)
+			traverse(table, reply, "eth1", "wlan0")
+			src, dst = tuple(t, reply)
+			if src != tc.unSrc || dst != tc.unDst {
+				t.Fatalf("reply: %v->%v, want %v->%v", src, dst, tc.unSrc, tc.unDst)
+			}
+			if err := table.CheckConntrack(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConntrackExpiry models conntrack entry expiry with FlushConntrack: an
+// established DNATed flow loses its state mid-stream. Subsequent original-
+// direction packets re-match the NAT rule (a fresh flow, re-translated);
+// reply-direction packets no longer match anything and pass through
+// untranslated — the breakage real expiry causes.
+func TestConntrackExpiry(t *testing.T) {
+	table := New()
+	if _, err := table.ParseIptables(
+		"iptables -t nat -A PREROUTING -p tcp -d 198.18.0.80 --dport 80 -j DNAT --to 10.0.0.201:10101"); err != nil {
+		t.Fatal(err)
+	}
+
+	first := fuzzPacket("10.0.0.3", "198.18.0.80", 49152, 80)
+	traverse(table, first, "wlan0", "eth1")
+	if table.ConntrackLen() != 2 {
+		t.Fatalf("conntrack entries = %d, want 2", table.ConntrackLen())
+	}
+
+	table.FlushConntrack()
+	if table.ConntrackLen() != 0 {
+		t.Fatalf("conntrack entries after flush = %d, want 0", table.ConntrackLen())
+	}
+	if err := table.CheckConntrack(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Original direction: hits the rule again, state re-established.
+	next := fuzzPacket("10.0.0.3", "198.18.0.80", 49152, 80)
+	traverse(table, next, "wlan0", "eth1")
+	if _, dst := tuple(t, next); dst != hp("10.0.0.201", 10101) {
+		t.Fatalf("post-expiry original packet dst = %v, want re-DNAT to 10.0.0.201:10101", dst)
+	}
+	if table.ConntrackLen() != 2 {
+		t.Fatalf("conntrack entries after re-translation = %d, want 2", table.ConntrackLen())
+	}
+
+	// A reply for state that expired before it was re-established is not
+	// un-translated: flush again and send only the reply.
+	table.FlushConntrack()
+	reply := fuzzPacket("10.0.0.201", "10.0.0.3", 10101, 49152)
+	traverse(table, reply, "eth1", "wlan0")
+	if src, _ := tuple(t, reply); src != hp("10.0.0.201", 10101) {
+		t.Fatalf("post-expiry reply src = %v, want untranslated 10.0.0.201:10101", src)
+	}
+}
+
+// TestConntrackPairingDetectsCorruption proves the invariant has teeth: a
+// hand-corrupted table must fail CheckConntrack.
+func TestConntrackPairingDetectsCorruption(t *testing.T) {
+	table := New()
+	if _, err := table.ParseIptables(
+		"iptables -t nat -A PREROUTING -p tcp -d 198.18.0.80 --dport 80 -j DNAT --to 10.0.0.201:10101"); err != nil {
+		t.Fatal(err)
+	}
+	pkt := fuzzPacket("10.0.0.3", "198.18.0.80", 49152, 80)
+	traverse(table, pkt, "wlan0", "eth1")
+	if err := table.CheckConntrack(); err != nil {
+		t.Fatalf("intact table failed check: %v", err)
+	}
+
+	// Delete one direction: the survivor is now unpaired.
+	for key := range table.conntrack {
+		delete(table.conntrack, key)
+		break
+	}
+	if err := table.CheckConntrack(); err == nil {
+		t.Fatal("CheckConntrack accepted a table with an unpaired entry")
+	}
+}

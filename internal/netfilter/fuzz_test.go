@@ -1,0 +1,50 @@
+package netfilter
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/inet"
+	"repro/internal/ipv4"
+)
+
+// fuzzPacket builds a small TCP packet for exercising accepted rules.
+func fuzzPacket(src, dst string, sp, dp inet.Port) *ipv4.Packet {
+	payload := make([]byte, 20)
+	binary.BigEndian.PutUint16(payload[0:2], uint16(sp))
+	binary.BigEndian.PutUint16(payload[2:4], uint16(dp))
+	payload[12] = 5 << 4
+	return &ipv4.Packet{
+		TTL: 64, Proto: ipv4.ProtoTCP,
+		Src: inet.MustParseAddr(src), Dst: inet.MustParseAddr(dst),
+		Payload: payload,
+	}
+}
+
+// FuzzParseIptables drives the iptables command parser: arbitrary strings
+// must never panic, and any accepted rule must survive a full five-chain
+// packet traversal with the conntrack pairing invariant intact.
+func FuzzParseIptables(f *testing.F) {
+	f.Add("iptables -t nat -A PREROUTING -p tcp -d 198.18.0.80 --dport 80 -j DNAT --to 10.0.0.201:10101")
+	f.Add("iptables -A FORWARD -p tcp -s 10.0.0.0/24 -j DROP")
+	f.Add("iptables -t nat -A POSTROUTING -o eth1 -j SNAT --to 10.0.0.200")
+	f.Add("iptables -A INPUT -j ACCEPT")
+	f.Add("iptables -t nat -A PREROUTING --dport notaport -j DNAT --to x")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, cmd string) {
+		table := New()
+		if _, err := table.ParseIptables(cmd); err != nil {
+			return
+		}
+		pkt := fuzzPacket("10.0.0.3", "198.18.0.80", 49152, 80)
+		for _, point := range []ipv4.HookPoint{
+			ipv4.HookPrerouting, ipv4.HookInput, ipv4.HookForward,
+			ipv4.HookOutput, ipv4.HookPostrouting,
+		} {
+			table.Filter(point, pkt, "wlan0", "eth1")
+		}
+		if err := table.CheckConntrack(); err != nil {
+			t.Fatalf("conntrack pairing broken after %q: %v", cmd, err)
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/inet"
 	"repro/internal/ipv4"
+	"repro/internal/sim"
 )
 
 // Target is a rule's action.
@@ -100,6 +101,13 @@ func (r *Rule) matches(pkt *ipv4.Packet, in, out string) bool {
 	return true
 }
 
+// natDone bits record which translation stages have touched a packet during
+// its current traversal.
+const (
+	natDoneDst uint8 = 1 << iota // destination rewritten (DNAT stage)
+	natDoneSrc                   // source rewritten (SNAT stage)
+)
+
 // flowKey identifies a transport flow for conntrack.
 type flowKey struct {
 	proto            uint8
@@ -122,10 +130,12 @@ type natEntry struct {
 type Table struct {
 	chains    map[ipv4.HookPoint][]*Rule
 	conntrack map[flowKey]natEntry
-	// translated marks packets conntrack already handled during the
-	// current traversal: NAT rules only ever see a flow's first packet
-	// (Linux nat-table semantics).
-	translated map[*ipv4.Packet]struct{}
+	// translated marks which translation kinds a packet has already
+	// received during its current traversal: NAT rules only ever see a
+	// flow's first packet (Linux nat-table semantics), but a DNAT at
+	// PREROUTING must not suppress an SNAT at POSTROUTING — each stage
+	// applies independently, once per flow.
+	translated map[*ipv4.Packet]uint8
 
 	// Counters.
 	Translations uint64
@@ -137,7 +147,7 @@ func New() *Table {
 	return &Table{
 		chains:     make(map[ipv4.HookPoint][]*Rule),
 		conntrack:  make(map[flowKey]natEntry),
-		translated: make(map[*ipv4.Packet]struct{}),
+		translated: make(map[*ipv4.Packet]uint8),
 	}
 }
 
@@ -158,18 +168,23 @@ func (t *Table) Filter(point ipv4.HookPoint, pkt *ipv4.Packet, in, out string) i
 	switch point {
 	case ipv4.HookPrerouting, ipv4.HookOutput:
 		delete(t.translated, pkt) // fresh traversal for this pointer
-		if t.applyConntrack(pkt) {
-			t.translated[pkt] = struct{}{}
+		if bits := t.applyConntrack(pkt); bits != 0 {
+			t.translated[pkt] = bits
 		}
 	}
-	_, tracked := t.translated[pkt]
+	tracked := t.translated[pkt]
 	verdict := ipv4.VerdictAccept
 	for _, r := range t.chains[point] {
 		if !r.matches(pkt, in, out) {
 			continue
 		}
-		if tracked && (r.Target == TargetDNAT || r.Target == TargetSNAT) {
-			continue // flow already translated; nat rules see first packet only
+		// NAT rules see a flow's first packet only, per translation stage:
+		// an already-DNATed packet skips further DNAT rules but remains
+		// eligible for SNAT (and vice versa), as in Linux where PREROUTING
+		// and POSTROUTING each set up their half of the flow's NAT state.
+		if (r.Target == TargetDNAT && tracked&natDoneDst != 0) ||
+			(r.Target == TargetSNAT && tracked&natDoneSrc != 0) {
+			continue
 		}
 		r.Packets++
 		r.Bytes += uint64(pkt.Len())
@@ -181,10 +196,12 @@ func (t *Table) Filter(point ipv4.HookPoint, pkt *ipv4.Packet, in, out string) i
 			verdict = ipv4.VerdictDrop
 		case TargetDNAT:
 			t.applyDNAT(pkt, r.NATTo)
-			t.translated[pkt] = struct{}{}
+			tracked |= natDoneDst
+			t.translated[pkt] = tracked
 		case TargetSNAT:
 			t.applySNAT(pkt, r.NATTo)
-			t.translated[pkt] = struct{}{}
+			tracked |= natDoneSrc
+			t.translated[pkt] = tracked
 		}
 		if done {
 			break
@@ -198,34 +215,56 @@ func (t *Table) Filter(point ipv4.HookPoint, pkt *ipv4.Packet, in, out string) i
 }
 
 // applyConntrack translates packets of flows with existing NAT state, both
-// continuing originals and replies. It reports whether a translation was
-// applied.
-func (t *Table) applyConntrack(pkt *ipv4.Packet) bool {
-	sp, dp, ok := transportPorts(pkt)
-	if !ok {
-		return false
-	}
-	key := flowKey{proto: pkt.Proto, src: pkt.Src, dst: pkt.Dst, srcPort: sp, dstPort: dp}
-	e, ok := t.conntrack[key]
-	if !ok {
-		return false
-	}
-	t.Translations++
-	switch e.kind {
-	case TargetDNAT:
-		// Forward direction of a DNATed flow, or reply of an SNATed one.
-		pkt.Dst = e.to.Addr
-		if e.to.Port != 0 {
-			setTransportPorts(pkt, sp, e.to.Port)
+// continuing originals and replies. A flow that was both DNATed and SNATed
+// (e.g. PREROUTING DNAT into a proxy plus POSTROUTING masquerade) has one
+// conntrack entry per rewrite, so translation iterates to a fixed point:
+// after applying an entry the rewritten tuple is looked up again, exactly as
+// Linux applies a conntrack entry's full translation. The chain is bounded
+// by the number of NAT stages (visited keys guard against cycles). It
+// returns the natDone bits for the stages it applied (0 = untouched).
+func (t *Table) applyConntrack(pkt *ipv4.Packet) uint8 {
+	var applied uint8
+	var visited [4]flowKey // chains are at most DNAT+SNAT each way
+	for n := 0; n < len(visited); n++ {
+		sp, dp, ok := transportPorts(pkt)
+		if !ok {
+			break
 		}
-	case TargetSNAT:
-		pkt.Src = e.to.Addr
-		if e.to.Port != 0 {
-			setTransportPorts(pkt, e.to.Port, dp)
+		key := flowKey{proto: pkt.Proto, src: pkt.Src, dst: pkt.Dst, srcPort: sp, dstPort: dp}
+		cycle := false
+		for i := 0; i < n; i++ {
+			if visited[i] == key {
+				cycle = true
+				break
+			}
 		}
+		if cycle {
+			break
+		}
+		visited[n] = key
+		e, ok := t.conntrack[key]
+		if !ok {
+			break
+		}
+		t.Translations++
+		switch e.kind {
+		case TargetDNAT:
+			// Forward direction of a DNATed flow, or reply of an SNATed one.
+			applied |= natDoneDst
+			pkt.Dst = e.to.Addr
+			if e.to.Port != 0 {
+				setTransportPorts(pkt, sp, e.to.Port)
+			}
+		case TargetSNAT:
+			applied |= natDoneSrc
+			pkt.Src = e.to.Addr
+			if e.to.Port != 0 {
+				setTransportPorts(pkt, e.to.Port, dp)
+			}
+		}
+		fixTransportChecksum(pkt)
 	}
-	fixTransportChecksum(pkt)
-	return true
+	return applied
 }
 
 // applyDNAT rewrites the destination and records both directions.
@@ -267,6 +306,60 @@ func (t *Table) applySNAT(pkt *ipv4.Packet, to inet.HostPort) {
 	pkt.Src = to.Addr
 	setTransportPorts(pkt, newPort, dp)
 	fixTransportChecksum(pkt)
+}
+
+// ConntrackLen reports how many conntrack entries exist (each NAT'd flow
+// contributes a forward and a reverse entry).
+func (t *Table) ConntrackLen() int { return len(t.conntrack) }
+
+// FlushConntrack drops all conntrack state, modelling entry expiry: an
+// established flow's packets stop matching conntrack and are re-evaluated
+// against the NAT rules (re-translating originals, leaving replies
+// untranslated — exactly the mid-flow breakage real conntrack expiry
+// causes).
+func (t *Table) FlushConntrack() {
+	t.conntrack = make(map[flowKey]natEntry)
+}
+
+// CheckConntrack verifies the table's structural invariant: every conntrack
+// entry has a paired reverse entry of the opposite kind whose translation
+// undoes this one (DNAT forward ⇄ SNAT reply and vice versa). applyDNAT and
+// applySNAT always install both directions; an unpaired entry means a flow
+// whose replies cannot be un-translated. Registered on the kernel via
+// RegisterInvariants.
+func (t *Table) CheckConntrack() error {
+	for key, e := range t.conntrack {
+		var rev flowKey
+		switch e.kind {
+		case TargetDNAT:
+			// Packets are rewritten toward e.to; replies come back from it.
+			rev = flowKey{proto: key.proto, src: e.to.Addr, srcPort: e.to.Port,
+				dst: key.src, dstPort: key.srcPort}
+		case TargetSNAT:
+			// Replies target the translated source e.to.
+			rev = flowKey{proto: key.proto, src: key.dst, srcPort: key.dstPort,
+				dst: e.to.Addr, dstPort: e.to.Port}
+		default:
+			return fmt.Errorf("conntrack entry %+v has non-NAT kind %v", key, e.kind)
+		}
+		re, ok := t.conntrack[rev]
+		if !ok {
+			return fmt.Errorf("conntrack entry %+v (%v) lacks reverse entry %+v", key, e.kind, rev)
+		}
+		if re.kind == e.kind {
+			return fmt.Errorf("conntrack pair %+v / %+v share kind %v", key, rev, e.kind)
+		}
+		if re.to != e.orig {
+			return fmt.Errorf("conntrack reverse of %+v translates to %v, want original %v", key, re.to, e.orig)
+		}
+	}
+	return nil
+}
+
+// RegisterInvariants attaches the table's structural checks to a kernel's
+// invariant registry (see sim.Kernel.RegisterInvariant).
+func (t *Table) RegisterInvariants(k *sim.Kernel) {
+	k.RegisterInvariant("netfilter/conntrack-pairing", t.CheckConntrack)
 }
 
 // transportPorts extracts TCP/UDP ports.

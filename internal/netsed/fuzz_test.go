@@ -1,0 +1,64 @@
+package netsed
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseRule drives the netsed rule parser: arbitrary strings must never
+// panic, and an accepted rule must be applicable to data without panicking.
+func FuzzParseRule(f *testing.F) {
+	f.Add("s/href=file.tgz/href=http:%2f%2f10.0.0.201%2ftrojan.tgz", []byte("<a href=file.tgz>"))
+	f.Add("s/from/to/3", []byte("from from from from"))
+	f.Add("s/%zz/x", []byte(""))
+	f.Add("s//empty", []byte("data"))
+	f.Add("s/%2", []byte("x"))
+	f.Fuzz(func(t *testing.T, rule string, data []byte) {
+		r, err := ParseRule(rule)
+		if err != nil {
+			return
+		}
+		if len(r.From) == 0 {
+			t.Fatalf("ParseRule(%q) accepted an empty pattern", rule)
+		}
+		out := NewChunkRewriter([]*Rule{r}).Rewrite(append([]byte(nil), data...))
+		if r.MaxHits > 0 && r.Hits > r.MaxHits {
+			t.Fatalf("rule exceeded MaxHits: %d > %d", r.Hits, r.MaxHits)
+		}
+		if r.Hits == 0 && !bytes.Equal(out, data) {
+			t.Fatal("rewriter changed data without recording a hit")
+		}
+	})
+}
+
+// FuzzStreamRewriter checks the boundary-safe rewriter: splitting the input
+// at any point must produce the same output as one chunk (that is its whole
+// reason to exist), and a rule that never matches must pass bytes through.
+func FuzzStreamRewriter(f *testing.F) {
+	f.Add([]byte("the pattern crosses a bo"), []byte("undary right here"))
+	f.Add([]byte{}, []byte{})
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		rule := func() []*Rule {
+			r, err := ParseRule("s/boundary/BRIDGED!!")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return []*Rule{r}
+		}
+
+		split := NewStreamRewriter(rule())
+		var got []byte
+		got = append(got, split.Rewrite(append([]byte(nil), a...))...)
+		got = append(got, split.Rewrite(append([]byte(nil), b...))...)
+		got = append(got, split.Flush()...)
+
+		whole := NewStreamRewriter(rule())
+		var want []byte
+		want = append(want, whole.Rewrite(append(append([]byte(nil), a...), b...))...)
+		want = append(want, whole.Flush()...)
+
+		if !bytes.Equal(got, want) {
+			t.Fatalf("stream rewrite depends on chunking:\n split %q\n whole %q", got, want)
+		}
+	})
+}

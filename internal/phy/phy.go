@@ -375,6 +375,7 @@ func (m *Medium) complete(tx *transmission, rate Rate, air sim.Time) {
 		}
 		rx.RxFrames++
 		m.Deliveries++
+		m.kernel.MixDigest("phy/rx:"+rx.name, tx.data)
 		info := RxInfo{
 			Channel: tx.channel, RSSIDBm: rssi, SNRDB: snr,
 			Rate: rate, At: now, Airtime: air, Src: tx.src,

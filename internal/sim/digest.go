@@ -1,0 +1,79 @@
+package sim
+
+// The trace digest is a streaming FNV-1a hash over the kernel's ordered
+// event/observation stream. Two runs of the same scenario with the same seed
+// must produce identical digests; any divergence means hidden nondeterminism
+// (map-iteration ordering, wall-clock leakage, cross-world state). The digest
+// is cheap enough to leave always-on: every fired event mixes its timestamp
+// and scheduling sequence number, and protocol layers mix the bytes of every
+// delivered frame via MixDigest.
+//
+// internal/check builds its determinism assertions on top of this.
+
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// traceDigest is the streaming hash state.
+type traceDigest struct {
+	h uint64
+	// mixed counts observations folded in, so an empty digest and a
+	// colliding digest can never be confused in test output.
+	mixed uint64
+}
+
+func newTraceDigest() traceDigest { return traceDigest{h: fnvOffset64} }
+
+func (d *traceDigest) mixByte(b byte) {
+	d.h = (d.h ^ uint64(b)) * fnvPrime64
+}
+
+func (d *traceDigest) mixUint64(v uint64) {
+	for i := 0; i < 64; i += 8 {
+		d.mixByte(byte(v >> i))
+	}
+}
+
+func (d *traceDigest) mixBytes(p []byte) {
+	for _, b := range p {
+		d.mixByte(b)
+	}
+}
+
+// mixString mixes a length-prefixed string so "ab"+"c" != "a"+"bc".
+func (d *traceDigest) mixString(s string) {
+	d.mixUint64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		d.mixByte(s[i])
+	}
+}
+
+// Digest reports the current trace digest: a hash of every event fired and
+// every observation mixed so far. Equal seeds must yield equal digests at
+// equal points in virtual time; see check.AssertDeterministic.
+func (k *Kernel) Digest() uint64 { return k.digest.h }
+
+// DigestObservations reports how many observations (events + MixDigest
+// calls) the digest covers.
+func (k *Kernel) DigestObservations() uint64 { return k.digest.mixed }
+
+// MixDigest folds a labelled observation — typically a delivered packet or
+// frame — into the kernel's trace digest. kind names the observation source
+// ("phy/rx", "eth/rx", ...); data is the observed bytes. The current virtual
+// time is mixed automatically.
+func (k *Kernel) MixDigest(kind string, data []byte) {
+	k.digest.mixed++
+	k.digest.mixUint64(uint64(k.now))
+	k.digest.mixString(kind)
+	k.digest.mixUint64(uint64(len(data)))
+	k.digest.mixBytes(data)
+}
+
+// mixEvent folds one fired event into the digest: its virtual time and its
+// scheduling sequence number (which captures causal ordering exactly).
+func (k *Kernel) mixEvent(e *Event) {
+	k.digest.mixed++
+	k.digest.mixUint64(uint64(e.when))
+	k.digest.mixUint64(e.seq)
+}

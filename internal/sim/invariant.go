@@ -1,0 +1,84 @@
+package sim
+
+import "fmt"
+
+// The invariant registry lets protocol packages attach structural
+// self-checks to the kernel they run on: TCP sequence-window sanity, ARP
+// cache consistency, netfilter conntrack pairing, WEP IV accounting. When
+// checking is enabled every registered invariant runs after every fired
+// event — the event boundary is the only point at which the simulation is in
+// a quiescent, checkable state.
+//
+// Registration is cheap (one slice append), so components register
+// unconditionally at construction; the checks themselves only run when
+// enabled. Tests enable checking via Kernel.SetInvariantChecks(true) (or
+// core.Config.Checks); cmd/roguesim exposes it behind -check.
+
+// invariant is one registered check.
+type invariant struct {
+	name  string
+	check func() error
+}
+
+// RegisterInvariant adds a named check to the kernel. The check must be a
+// pure observation: it may not schedule events, mutate protocol state, or
+// draw from the RNG. A nil error means the invariant holds.
+func (k *Kernel) RegisterInvariant(name string, check func() error) {
+	if check == nil {
+		panic("sim: nil invariant check")
+	}
+	k.invariants = append(k.invariants, invariant{name: name, check: check})
+}
+
+// SetInvariantChecks enables or disables running registered invariants at
+// every event boundary. Off by default: full checking is O(registered
+// checks) per event.
+func (k *Kernel) SetInvariantChecks(on bool) { k.checkInvariants = on }
+
+// InvariantChecksEnabled reports whether per-event checking is on.
+// Components can consult this at construction time to decide whether to
+// maintain optional accounting state (e.g. WEP IV reuse tracking).
+func (k *Kernel) InvariantChecksEnabled() bool { return k.checkInvariants }
+
+// InvariantViolation describes a failed invariant check.
+type InvariantViolation struct {
+	Name string
+	At   Time
+	Err  error
+}
+
+// Error implements error.
+func (v *InvariantViolation) Error() string {
+	return fmt.Sprintf("sim: invariant %q violated at t=%v: %v", v.Name, v.At, v.Err)
+}
+
+// runInvariants executes every registered check plus the kernel's own
+// event-heap monotonicity invariant. The first violation is fatal: by
+// default it panics (an invariant violation always indicates a bug, and the
+// kernel cannot meaningfully continue); tests may install OnViolation to
+// convert it into a test failure instead.
+func (k *Kernel) runInvariants() {
+	// Kernel invariant: the queue head must never be in the past.
+	if len(k.queue) > 0 && k.queue[0].when < k.now {
+		k.violate(&InvariantViolation{
+			Name: "sim/heap-monotonic", At: k.now,
+			Err: fmt.Errorf("queue head at %v behind clock %v", k.queue[0].when, k.now),
+		})
+		return
+	}
+	for i := range k.invariants {
+		inv := &k.invariants[i]
+		if err := inv.check(); err != nil {
+			k.violate(&InvariantViolation{Name: inv.name, At: k.now, Err: err})
+			return
+		}
+	}
+}
+
+func (k *Kernel) violate(v *InvariantViolation) {
+	if k.OnViolation != nil {
+		k.OnViolation(v)
+		return
+	}
+	panic(v.Error())
+}

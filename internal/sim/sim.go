@@ -128,11 +128,20 @@ type Kernel struct {
 	fired uint64
 	// Tracer, if non-nil, receives a line for each significant kernel action.
 	Tracer Tracer
+	// digest is the streaming trace hash (see digest.go).
+	digest traceDigest
+	// invariants are the registered per-event-boundary checks (invariant.go);
+	// they run after each fired event only when checkInvariants is set.
+	invariants      []invariant
+	checkInvariants bool
+	// OnViolation, if non-nil, receives invariant violations instead of the
+	// default panic. Tests install it to report violations as failures.
+	OnViolation func(*InvariantViolation)
 }
 
 // NewKernel returns a kernel at t=0 whose random source is seeded with seed.
 func NewKernel(seed uint64) *Kernel {
-	return &Kernel{rng: NewRNG(seed)}
+	return &Kernel{rng: NewRNG(seed), digest: newTraceDigest()}
 }
 
 // Now reports the current virtual time.
@@ -193,7 +202,11 @@ func (k *Kernel) step() bool {
 		fn := e.fn
 		e.fn = nil
 		k.fired++
+		k.mixEvent(e)
 		fn()
+		if k.checkInvariants {
+			k.runInvariants()
+		}
 		return true
 	}
 	return false

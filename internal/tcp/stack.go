@@ -55,7 +55,33 @@ func NewStack(ip *ipv4.Stack) *Stack {
 		MSS:       MSS,
 	}
 	ip.Handle(ipv4.ProtoTCP, s.onPacket)
+	ip.Kernel().RegisterInvariant("tcp/conn-state", s.checkConns)
 	return s
+}
+
+// checkConns is a sim invariant (run at event boundaries when checks are
+// enabled): every live connection's sequence-space bookkeeping must be
+// internally consistent. The bounds are conservative — they hold in every
+// legal TCP state, so a violation always means stack corruption rather than
+// an unusual-but-valid peer.
+func (s *Stack) checkConns() error {
+	for k, c := range s.conns {
+		if !seqLEQ(c.sndUna, c.sndNxt) {
+			return fmt.Errorf("conn %v->%v: sndUna %d beyond sndNxt %d", k.local, k.remote, c.sndUna, c.sndNxt)
+		}
+		// In-flight sequence space is bounded by unacked payload plus at
+		// most one SYN and one FIN.
+		if inflight := c.sndNxt - c.sndUna; inflight > uint32(len(c.sendBuf))+2 {
+			return fmt.Errorf("conn %v->%v: %d seq in flight but only %d buffered", k.local, k.remote, inflight, len(c.sendBuf))
+		}
+		if c.rto < 0 {
+			return fmt.Errorf("conn %v->%v: negative rto %v", k.local, k.remote, c.rto)
+		}
+		if c.cwnd < 0 {
+			return fmt.Errorf("conn %v->%v: negative cwnd %v", k.local, k.remote, c.cwnd)
+		}
+	}
+	return nil
 }
 
 // IP exposes the underlying network stack.

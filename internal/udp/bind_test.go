@@ -1,0 +1,108 @@
+package udp
+
+import (
+	"testing"
+
+	"repro/internal/inet"
+)
+
+// TestBindCollision covers port ownership: a bound port cannot be claimed
+// again until released, and release restores bindability.
+func TestBindCollision(t *testing.T) {
+	_, a, _ := newPair(t)
+
+	cases := []struct {
+		name string
+		run  func(t *testing.T)
+	}{
+		{"second bind of same port fails", func(t *testing.T) {
+			s1, err := a.Bind(5000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s1.Close()
+			if _, err := a.Bind(5000); err == nil {
+				t.Fatal("second Bind(5000) succeeded while port was held")
+			}
+		}},
+		{"close frees the port", func(t *testing.T) {
+			s1, err := a.Bind(5001)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s1.Close()
+			s2, err := a.Bind(5001)
+			if err != nil {
+				t.Fatalf("rebind after close failed: %v", err)
+			}
+			s2.Close()
+		}},
+		{"ephemeral binds skip held ports", func(t *testing.T) {
+			held, err := a.Bind(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer held.Close()
+			next, err := a.Bind(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer next.Close()
+			if next.Port() == held.Port() {
+				t.Fatalf("ephemeral allocator reused held port %d", held.Port())
+			}
+			if next.Port() < 49152 {
+				t.Fatalf("ephemeral port %d below the dynamic range", next.Port())
+			}
+		}},
+		{"stale close does not evict a rebound port", func(t *testing.T) {
+			s1, err := a.Bind(5002)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s1.Close()
+			s2, err := a.Bind(5002)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s2.Close()
+			s1.Close() // stale handle, closed again
+			if _, err := a.Bind(5002); err == nil {
+				t.Fatal("stale Close released a port owned by a newer socket")
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.run)
+	}
+}
+
+// TestCloseStopsDelivery verifies datagrams to a closed port are counted as
+// unsocketed drops rather than delivered to the dead receiver.
+func TestCloseStopsDelivery(t *testing.T) {
+	k, a, b := newPair(t)
+	sb, err := b.Bind(53)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	sb.SetReceiver(func(src inet.HostPort, payload []byte) { delivered++ })
+	sa, _ := a.Bind(0)
+
+	_ = sa.SendTo(inet.MustParseHostPort("10.0.0.2:53"), []byte("one"))
+	k.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", delivered)
+	}
+
+	sb.Close()
+	before := b.RxNoSocket
+	_ = sa.SendTo(inet.MustParseHostPort("10.0.0.2:53"), []byte("two"))
+	k.Run()
+	if delivered != 1 {
+		t.Fatalf("delivery to closed socket: delivered = %d", delivered)
+	}
+	if b.RxNoSocket != before+1 {
+		t.Fatalf("RxNoSocket = %d, want %d", b.RxNoSocket, before+1)
+	}
+}

@@ -91,8 +91,13 @@ func (s *Socket) SendTo(dst inet.HostPort, payload []byte) error {
 	return s.stack.ip.Send(src, dst.Addr, ipv4.ProtoUDP, d.marshal(src, dst.Addr))
 }
 
-// Close releases the port.
-func (s *Socket) Close() { delete(s.stack.sockets, s.port) }
+// Close releases the port. Closing is idempotent, and closing a stale
+// socket after its port has been rebound must not evict the new owner.
+func (s *Socket) Close() {
+	if s.stack.sockets[s.port] == s {
+		delete(s.stack.sockets, s.port)
+	}
+}
 
 // Stack is a host's UDP engine, bound to its IPv4 stack.
 type Stack struct {
