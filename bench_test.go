@@ -1,6 +1,6 @@
 package repro
 
-// One benchmark per reproduced experiment (DESIGN.md E1–E9). Each iteration
+// One benchmark per reproduced experiment (DESIGN.md E1–E12). Each iteration
 // regenerates the experiment's table at a small scale and sanity-checks its
 // headline cell, so `go test -bench=.` both times the simulation and
 // re-verifies the paper's qualitative results.
@@ -133,5 +133,32 @@ func BenchmarkE9Overhead(b *testing.B) {
 func BenchmarkE2dHostileHotspot(b *testing.B) {
 	benchTable(b, experiments.E2dHostileHotspot, func(t experiments.Table) bool {
 		return t.Rows[1][2] == "100%" && t.Rows[2][1] == "100%"
+	})
+}
+
+// BenchmarkE10DeauthStorm — the deauth storm is survivable without a rogue
+// and sticky with one.
+func BenchmarkE10DeauthStorm(b *testing.B) {
+	benchTable(b, experiments.E10DeauthStorm, func(t experiments.Table) bool {
+		return t.Rows[1][2] == "100%" && t.Rows[1][3] == "0%" && t.Rows[3][3] == "100%"
+	})
+}
+
+// BenchmarkE11APOutage — the tunnel survives an AP reboot on every carrier.
+func BenchmarkE11APOutage(b *testing.B) {
+	benchTable(b, experiments.E11APOutage, func(t experiments.Table) bool {
+		for _, r := range t.Rows {
+			if r[2] != "100%" {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// BenchmarkE12BurstLoss — downloads complete through bursty air.
+func BenchmarkE12BurstLoss(b *testing.B) {
+	benchTable(b, experiments.E12BurstLoss, func(t experiments.Table) bool {
+		return t.Rows[0][1] == "100%" && t.Rows[1][1] == "100%"
 	})
 }

@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper-reproduction tables (DESIGN.md
-// E1–E9). Run everything:
+// E1–E12). Run everything:
 //
 //	go run ./cmd/experiments
 //
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (e1,e2,e2b,e2c,e2d,e3,e4,e5,e6,e7,e8,e9) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1,e2,e2b,e2c,e2d,e3,e4,e5,e6,e7,e8,e9,e10,e11,e12) or 'all'")
 	trials := flag.Int("trials", 5, "trials per sweep point")
 	quick := flag.Bool("quick", false, "reduce the heaviest experiments")
 	flag.Parse()
@@ -49,6 +49,9 @@ func main() {
 		{"e7", experiments.E7Detection},
 		{"e8", experiments.E8Eavesdrop},
 		{"e9", experiments.E9Overhead},
+		{"e10", experiments.E10DeauthStorm},
+		{"e11", experiments.E11APOutage},
+		{"e12", experiments.E12BurstLoss},
 	}
 	ran := 0
 	for _, e := range list {

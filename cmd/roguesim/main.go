@@ -6,6 +6,9 @@
 //	go run ./cmd/roguesim -scenario vpn
 //	go run ./cmd/roguesim -scenario healthy -seed 7
 //	go run ./cmd/roguesim -scenario detect
+//	go run ./cmd/roguesim -scenario vpn -faults ap-restart
+//	go run ./cmd/roguesim -scenario healthy -faults "deauth@5s+10s(interval=100ms)"
+//	go run ./cmd/roguesim -faults list
 //
 // The scenarios themselves live in internal/core (RunScenario), where the
 // determinism tests replay them; this command only formats the outcome.
@@ -18,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -25,9 +29,25 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	check := flag.Bool("check", false, "enable kernel invariant checking (panics on violation)")
 	digest := flag.Bool("digest", false, "print the trace digest after the run")
+	schedule := flag.String("faults", "",
+		"fault schedule: a builtin name, a raw schedule string, or \"list\" to enumerate builtins")
 	flag.Parse()
 
-	o, err := core.RunScenario(*scenario, *seed, *check)
+	if *schedule == "list" {
+		builtins := faults.Builtins()
+		for _, name := range faults.BuiltinNames() {
+			fmt.Printf("%-14s %s\n", name, builtins[name])
+		}
+		return
+	}
+	if *schedule != "" {
+		if _, err := faults.Resolve(*schedule); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	o, err := core.RunScenarioFaults(*scenario, *seed, *check, *schedule)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -51,6 +71,13 @@ func main() {
 		}
 	} else {
 		printDownload(o)
+	}
+	if o.World.Faults != nil {
+		fmt.Printf("chaos: %d fault(s) applied, %d reverted, converged=%v\n",
+			o.World.Faults.Applied, o.World.Faults.Reverted, o.Converged)
+		if !o.Converged {
+			exitCode = 1
+		}
 	}
 	if *digest {
 		fmt.Printf("trace digest: %016x\n", o.Digest)

@@ -124,6 +124,9 @@ type Client struct {
 
 	// Counters.
 	RequestsSent, RepliesSent, RequestsSeen, RepliesSeen uint64
+	// Expiries counts cache entries evicted by TTL. Traffic learned after an
+	// expiry needs a fresh who-has round trip.
+	Expiries uint64
 }
 
 // NewClient attaches an ARP engine to a NIC. Note: the engine does not take
@@ -153,6 +156,9 @@ func (c *Client) checkConsistency() error {
 		if e.learned > now {
 			return errors.New("arp: cache entry for " + ip.String() + " learned in the future")
 		}
+		if now-e.learned > c.cfg.CacheTTL {
+			return errors.New("arp: stale cache entry for " + ip.String() + " outlived its TTL eviction")
+		}
 		if ip.IsUnspecified() {
 			return errors.New("arp: cache entry for unspecified address")
 		}
@@ -180,12 +186,16 @@ func (c *Client) Lookup(ip inet.Addr) (ethernet.MAC, bool) {
 	return e.mac, true
 }
 
-// learn inserts a mapping.
+// learn inserts a mapping and arms its TTL eviction.
 func (c *Client) learn(ip inet.Addr, mac ethernet.MAC) {
 	if ip.IsUnspecified() {
 		return
 	}
+	_, had := c.cache[ip]
 	c.cache[ip] = cacheEntry{mac: mac, learned: c.kernel.Now()}
+	if !had {
+		c.armExpiry(ip, c.kernel.Now()+c.cfg.CacheTTL)
+	}
 	if p, ok := c.wait[ip]; ok {
 		delete(c.wait, ip)
 		if p.timer != nil {
@@ -195,6 +205,24 @@ func (c *Client) learn(ip inet.Addr, mac ethernet.MAC) {
 			cb(mac, nil)
 		}
 	}
+}
+
+// armExpiry schedules eviction of ip's cache entry at its TTL deadline. A
+// refresh between arming and firing just re-arms for the new deadline, so
+// each live entry carries exactly one outstanding timer.
+func (c *Client) armExpiry(ip inet.Addr, at sim.Time) {
+	c.kernel.At(at, func() {
+		e, ok := c.cache[ip]
+		if !ok {
+			return
+		}
+		if deadline := e.learned + c.cfg.CacheTTL; deadline > c.kernel.Now() {
+			c.armExpiry(ip, deadline)
+			return
+		}
+		delete(c.cache, ip)
+		c.Expiries++
+	})
 }
 
 // Resolve invokes cb with the MAC for ip, sending requests as needed. The

@@ -77,7 +77,7 @@ func TestResolveSucceeds(t *testing.T) {
 	var got ethernet.MAC
 	var gotErr error
 	ca.Resolve(ipB, func(m ethernet.MAC, err error) { got, gotErr = m, err })
-	k.Run()
+	k.RunFor(5 * sim.Second)
 	if gotErr != nil {
 		t.Fatal(gotErr)
 	}
@@ -92,7 +92,7 @@ func TestResolveSucceeds(t *testing.T) {
 func TestResolveCacheHitIsSynchronous(t *testing.T) {
 	k, ca, _ := twoHosts(t)
 	ca.Resolve(ipB, func(ethernet.MAC, error) {})
-	k.Run()
+	k.RunFor(5 * sim.Second)
 	called := false
 	ca.Resolve(ipB, func(m ethernet.MAC, err error) { called = true })
 	if !called {
@@ -135,7 +135,7 @@ func TestLearnsFromRequests(t *testing.T) {
 	k, ca, cb := twoHosts(t)
 	// B resolving A teaches A about B as a side effect of the request.
 	cb.Resolve(ipA, func(ethernet.MAC, error) {})
-	k.Run()
+	k.RunFor(5 * sim.Second)
 	if _, ok := ca.Lookup(ipB); !ok {
 		t.Fatal("A did not learn B from B's request")
 	}
@@ -154,7 +154,7 @@ func TestCacheAges(t *testing.T) {
 func TestGratuitousAnnounceLearned(t *testing.T) {
 	k, ca, cb := twoHosts(t)
 	ca.Announce()
-	k.Run()
+	k.RunFor(5 * sim.Second)
 	if mac, ok := cb.Lookup(ipA); !ok || mac != ethernet.MustParseMAC("02:00:00:00:00:01") {
 		t.Fatal("gratuitous ARP not learned")
 	}

@@ -1,0 +1,95 @@
+package arp
+
+import (
+	"testing"
+
+	"repro/internal/ethernet"
+	"repro/internal/sim"
+)
+
+// TestCacheEntryExpires proves TTL eviction: a learned entry vanishes from
+// the cache map (not just from Lookup's view) once its TTL passes, and the
+// next resolution pays exactly one fresh who-has on the wire.
+func TestCacheEntryExpires(t *testing.T) {
+	k, ca, _ := twoHosts(t)
+	ca.Resolve(ipB, func(ethernet.MAC, error) {})
+	k.RunFor(5 * sim.Second)
+	if ca.RequestsSent != 1 {
+		t.Fatalf("RequestsSent = %d after first resolve, want 1", ca.RequestsSent)
+	}
+
+	// Default TTL is 60 s. Before the deadline the entry is live...
+	k.RunUntil(59 * sim.Second)
+	if _, ok := ca.Lookup(ipB); !ok {
+		t.Fatal("entry gone before its TTL")
+	}
+	if ca.Expiries != 0 {
+		t.Fatalf("Expiries = %d before the TTL, want 0", ca.Expiries)
+	}
+	// ...and after it the entry is evicted, not merely hidden.
+	k.RunUntil(61 * sim.Second)
+	if _, ok := ca.Lookup(ipB); ok {
+		t.Fatal("entry survived its TTL")
+	}
+	if len(ca.cache) != 0 {
+		t.Fatalf("cache still holds %d entries after expiry", len(ca.cache))
+	}
+	if ca.Expiries != 1 {
+		t.Fatalf("Expiries = %d, want 1", ca.Expiries)
+	}
+
+	// Re-resolution emits exactly one new who-has and repopulates the cache.
+	resolved := false
+	ca.Resolve(ipB, func(m ethernet.MAC, err error) { resolved = err == nil })
+	k.Run()
+	if !resolved {
+		t.Fatal("re-resolution after expiry failed")
+	}
+	if ca.RequestsSent != 2 {
+		t.Fatalf("RequestsSent = %d after re-resolution, want 2 (one per expiry)", ca.RequestsSent)
+	}
+}
+
+// TestCacheRefreshPostponesExpiry proves a refresh re-arms rather than
+// duplicates the eviction: traffic at TTL/2 keeps the entry alive past the
+// original deadline, and only one eviction fires when it finally lapses.
+func TestCacheRefreshPostponesExpiry(t *testing.T) {
+	k, ca, cb := twoHosts(t)
+	ca.Resolve(ipB, func(ethernet.MAC, error) {})
+	k.RunFor(5 * sim.Second)
+
+	// At t=30s B announces itself, which makes A re-learn B mid-TTL.
+	k.At(30*sim.Second, func() { cb.Announce() })
+	// The original deadline (60 s) passes with the entry still fresh.
+	k.RunUntil(75 * sim.Second)
+	if _, ok := ca.Lookup(ipB); !ok {
+		t.Fatal("refreshed entry expired at its original deadline")
+	}
+	if ca.Expiries != 0 {
+		t.Fatalf("Expiries = %d while refreshed, want 0", ca.Expiries)
+	}
+	// The refreshed deadline (90 s) evicts it exactly once.
+	k.RunUntil(95 * sim.Second)
+	if _, ok := ca.Lookup(ipB); ok {
+		t.Fatal("entry survived its refreshed TTL")
+	}
+	if ca.Expiries != 1 {
+		t.Fatalf("Expiries = %d after refreshed deadline, want 1", ca.Expiries)
+	}
+}
+
+// TestExpiryDeterministic replays the expire/re-resolve cycle and asserts
+// the digests match: eviction timers are kernel events like any other.
+func TestExpiryDeterministic(t *testing.T) {
+	run := func() uint64 {
+		k, ca, _ := twoHosts(t)
+		ca.Resolve(ipB, func(ethernet.MAC, error) {})
+		k.RunUntil(61 * sim.Second)
+		ca.Resolve(ipB, func(ethernet.MAC, error) {})
+		k.Run()
+		return k.Digest()
+	}
+	if d1, d2 := run(), run(); d1 != d2 {
+		t.Errorf("expiry cycle digests diverged: %016x != %016x", d1, d2)
+	}
+}

@@ -68,6 +68,31 @@ func TestScenarioOutcomesStable(t *testing.T) {
 	}
 }
 
+// TestChaosConvergence is the recovery guarantee made executable: every
+// chaos scenario, under every determinism seed, must be back in steady state
+// by the fixed deadline the scenario checks (last fault end + grace). The
+// check is a single bounded-sim-time assertion inside the run — there is no
+// "eventually" polling anywhere, so a recovery that merely *usually* happens
+// in time fails here.
+func TestChaosConvergence(t *testing.T) {
+	for _, name := range []string{"chaos-deauth", "chaos-apcrash", "chaos-burst"} {
+		t.Run(name, func(t *testing.T) {
+			for _, seed := range determinismSeeds {
+				o, err := core.RunScenario(name, seed, true)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !o.Converged {
+					t.Errorf("seed %d: %s did not converge within the grace window", seed, name)
+				}
+				if o.Download.Err != nil {
+					t.Errorf("seed %d: %s download failed outright: %v", seed, name, o.Download.Err)
+				}
+			}
+		})
+	}
+}
+
 // TestDigestSeedSensitivity checks the digest actually depends on the seed:
 // different seeds must (for these scenarios) produce different traces. A
 // digest that ignores its inputs would pass AssertDeterministic trivially.

@@ -37,13 +37,22 @@ type ScenarioOutcome struct {
 	VPNUp    bool
 	VPNErr   error
 
+	// Chaos scenarios: whether the world returned to steady state within
+	// the bounded grace period after the last fault cleared.
+	Converged bool
+
 	// Detect scenario.
 	Alerts     []detect.Alert
 	FramesSeen uint64
 }
 
 // ScenarioNames lists every runnable scenario, in a fixed order.
-func ScenarioNames() []string { return []string{"healthy", "attack", "vpn", "detect"} }
+func ScenarioNames() []string {
+	return []string{
+		"healthy", "attack", "vpn", "detect",
+		"chaos-deauth", "chaos-apcrash", "chaos-burst",
+	}
+}
 
 // ScenarioConfig builds the world configuration for a named scenario.
 func ScenarioConfig(name string, seed uint64) (Config, error) {
@@ -66,6 +75,20 @@ func ScenarioConfig(name string, seed uint64) (Config, error) {
 		cfg.RogueCloneBSSID = true
 		cfg.RoguePureRelay = true
 		rogueGeometry(&cfg)
+	case "chaos-deauth":
+		// A forged-deauth storm lands during the association window; the
+		// client must ride it out on the reconnect backoff ladder.
+		cfg.Faults = "deauth-storm"
+	case "chaos-apcrash":
+		// The real AP reboots while the VPN tunnel is carrying a download.
+		// Keepalives are on so the tunnel notices if its peer truly dies;
+		// a 3 s outage is inside the DPD budget, so the session survives.
+		cfg.VPNServer = true
+		cfg.VPNKeepalive = 2 * sim.Second
+		cfg.Faults = "ap-restart"
+	case "chaos-burst":
+		// A long Gilbert–Elliott bad-air window chews on the download.
+		cfg.Faults = "burst-loss"
 	default:
 		return Config{}, fmt.Errorf("core: unknown scenario %q", name)
 	}
@@ -83,16 +106,32 @@ func rogueGeometry(cfg *Config) {
 // RunScenario executes a named scenario to completion. checks enables
 // kernel invariant checking for the run (violations panic).
 func RunScenario(name string, seed uint64, checks bool) (*ScenarioOutcome, error) {
+	return RunScenarioFaults(name, seed, checks, "")
+}
+
+// RunScenarioFaults runs a named scenario with a fault schedule (builtin
+// name or raw string) overriding whatever the scenario configures itself.
+// An empty schedule keeps the scenario's own. This is what roguesim -faults
+// and the chaos sweeps drive.
+func RunScenarioFaults(name string, seed uint64, checks bool, schedule string) (*ScenarioOutcome, error) {
 	cfg, err := ScenarioConfig(name, seed)
 	if err != nil {
 		return nil, err
 	}
 	cfg.Checks = checks
+	if schedule != "" {
+		cfg.Faults = schedule
+	}
 	if name == "detect" {
 		return runDetectScenario(name, cfg), nil
 	}
 	return runDownloadScenario(name, cfg), nil
 }
+
+// convergenceGrace is the bounded window a chaos scenario gets to self-heal
+// after its LAST fault clears. The convergence claim is checked exactly once
+// at this deadline — no polling, no "eventually".
+const convergenceGrace = 30 * sim.Second
 
 func (o *ScenarioOutcome) milestonef(format string, args ...any) {
 	o.Milestones = append(o.Milestones, Milestone{
@@ -130,6 +169,18 @@ func runDownloadScenario(name string, cfg Config) *ScenarioOutcome {
 
 	w.VictimDownload(func(r DownloadResult) { o.Download = r })
 	w.Run(60 * sim.Second)
+
+	if w.Faults != nil {
+		// Recovery guarantee: at a fixed deadline after the last fault
+		// clears, the network must be back in steady state.
+		if deadline := w.Faults.LastEnd() + convergenceGrace; deadline > w.Kernel.Now() {
+			w.Run(deadline - w.Kernel.Now())
+		}
+		o.Converged = w.Faults.Quiescent() && w.VictimAssociated() &&
+			(!w.Cfg.VPNServer || (w.VictimVPN != nil && w.VictimVPN.Up()))
+		o.milestonef("chaos converged: %v (faults applied %d, reverted %d)",
+			o.Converged, w.Faults.Applied, w.Faults.Reverted)
+	}
 	o.Digest = w.Kernel.Digest()
 	return o
 }

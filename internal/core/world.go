@@ -6,6 +6,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/dot11"
 	"repro/internal/ethernet"
+	"repro/internal/faults"
 	"repro/internal/httpx"
 	"repro/internal/inet"
 	"repro/internal/ipv4"
@@ -94,6 +95,16 @@ type Config struct {
 	// VPNServer stands up the trusted endpoint on the wired side.
 	VPNServer  bool
 	VPNCarrier vpn.Carrier
+	// VPNKeepalive, when non-zero, enables the victim tunnel's dead-peer
+	// detection and self-healing reconnect at this probe interval.
+	VPNKeepalive sim.Time
+
+	// Faults names a chaos schedule for this world: either a builtin name
+	// (faults.BuiltinNames) or a raw schedule string like
+	// "apcrash@35s+3s;burst@50s+20s(loss=0.8)". Empty means no fault
+	// injection — the world is byte-for-byte the same as before the fault
+	// subsystem existed.
+	Faults string
 
 	// FileContents is the genuine download (default a small tarball-ish
 	// blob); TrojanContents the attacker's replacement.
@@ -140,6 +151,12 @@ type World struct {
 	CorpSwitch     *ethernet.Switch
 	BackboneSwitch *ethernet.Switch
 	CorpAP         *dot11.AP
+	// CorpUplink is the AP's port on the corp switch cable — the wire the
+	// corrupt/dup faults chew on.
+	CorpUplink *ethernet.Port
+
+	// Faults is the chaos engine, non-nil iff Cfg.Faults named a schedule.
+	Faults *faults.Engine
 
 	Router    *Host
 	Web       *Host
@@ -191,7 +208,8 @@ func NewWorld(cfg Config) *World {
 		SSID: cfg.SSID, BSSID: CorpBSSID, Channel: cfg.APChannel,
 		WEPKey: cfg.WEPKey, MACAllow: acl,
 	})
-	w.CorpAP.AttachUplink(w.CorpSwitch.Attach(w.Alloc.Next()))
+	w.CorpUplink = w.CorpSwitch.Attach(w.Alloc.Next())
+	w.CorpAP.AttachUplink(w.CorpUplink)
 
 	// --- Router between corp LAN and backbone. ---
 	w.Router = newHost(w.Kernel, "router")
@@ -238,7 +256,48 @@ func NewWorld(cfg Config) *World {
 	if cfg.Rogue {
 		w.buildRogue()
 	}
+
+	// --- Chaos engine (last: it targets the assembled pieces). ---
+	if cfg.Faults != "" {
+		w.installFaults()
+	}
 	return w
+}
+
+// installFaults resolves the configured schedule and arms the chaos engine
+// against this world's components. Config errors panic, like every other
+// construction-time misconfiguration in NewWorld.
+func (w *World) installFaults() {
+	sched, err := faults.Resolve(w.Cfg.Faults)
+	if err != nil {
+		panic(err)
+	}
+	hosts := map[string]*ipv4.Stack{
+		"victim": w.Victim.IP,
+		"router": w.Router.IP,
+		"web":    w.Web.IP,
+	}
+	if w.VPNHost != nil {
+		hosts["vpn-endpoint"] = w.VPNHost.IP
+	}
+	eng := faults.New(w.Kernel, faults.Targets{
+		Medium:    w.Medium,
+		AP:        w.CorpAP,
+		STARadio:  w.Victim.Radio,
+		VictimMAC: VictimMAC,
+		BSSID:     CorpBSSID,
+		Channel:   w.Cfg.APChannel,
+		// The deauther/jammer stands right next to the victim, like the
+		// rogue would.
+		AttackPos:   phy.Position{X: w.Cfg.VictimPos.X + 2, Y: w.Cfg.VictimPos.Y},
+		UplinkPorts: []*ethernet.Port{w.CorpUplink},
+		Hosts:       hosts,
+		DefaultHost: "victim",
+	})
+	if err := eng.Install(sched); err != nil {
+		panic(err)
+	}
+	w.Faults = eng
 }
 
 // vpnPSK is the preestablished out-of-band secret.
@@ -330,6 +389,7 @@ func (w *World) EnableVictimVPN(split []inet.Prefix, done func(err error)) {
 		Server:              inet.HostPort{Addr: VPNEndpointIP, Port: vpn.DefaultPort},
 		Carrier:             w.Cfg.VPNCarrier,
 		SplitTunnelPrefixes: split,
+		Keepalive:           w.Cfg.VPNKeepalive,
 	}
 	var cli *vpn.Client
 	var err error

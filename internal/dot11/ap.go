@@ -53,6 +53,8 @@ type AP struct {
 	beacon   *sim.Event
 	started  sim.Time
 	stopped  bool
+	down     bool
+	quiet    bool
 
 	// OnAssociate, if set, fires when a station completes association.
 	OnAssociate func(sta ethernet.MAC)
@@ -63,13 +65,15 @@ type AP struct {
 	PortGate func(src ethernet.MAC, t ethernet.EtherType) bool
 
 	// Counters for experiments.
-	Beacons          uint64
-	AuthRejects      uint64
-	Associations     uint64
-	ICVFailures      uint64
-	Class3Errors     uint64
-	UnprotectedDrops uint64
-	GateDrops        uint64
+	Beacons           uint64
+	AuthRejects       uint64
+	Associations      uint64
+	ICVFailures       uint64
+	Class3Errors      uint64
+	UnprotectedDrops  uint64
+	GateDrops         uint64
+	Crashes           uint64
+	SuppressedBeacons uint64
 }
 
 // NewAP creates and starts an access point: it begins beaconing immediately.
@@ -109,6 +113,40 @@ func (ap *AP) Stop() {
 		ap.beacon.Cancel()
 	}
 }
+
+// SetDown crashes the AP (true) or restarts it (false) — the apcrash fault.
+// A crash is a reboot: the radio dies mid-air, beacons stop, and all station
+// state is forgotten, so previously associated clients come back as class-3
+// offenders until they reassociate. Restart resumes beaconing from a fresh
+// timestamp epoch. Distinct from Stop, which is permanent decommissioning.
+func (ap *AP) SetDown(down bool) {
+	if down == ap.down || ap.stopped {
+		return
+	}
+	ap.down = down
+	if down {
+		ap.Crashes++
+		ap.radio.SetDown(true)
+		if ap.beacon != nil {
+			ap.beacon.Cancel()
+			ap.beacon = nil
+		}
+		ap.stations = make(map[ethernet.MAC]*stationState)
+	} else {
+		ap.radio.SetDown(false)
+		ap.started = ap.kernel.Now()
+		ap.scheduleBeacon()
+	}
+}
+
+// Down reports whether the AP is currently crashed.
+func (ap *AP) Down() bool { return ap.down }
+
+// SuppressBeacons stalls (true) or resumes (false) the beacon generator
+// without touching station state — the quiet fault. Probe responses still
+// work, so clients that lose the beacon heartbeat recover by actively
+// rescanning.
+func (ap *AP) SuppressBeacons(on bool) { ap.quiet = on }
 
 // HostNIC returns the AP host's virtual interface (MAC = BSSID). The machine
 // running the AP — the CORP gateway or the attacker's laptop — attaches its
@@ -162,7 +200,11 @@ func (ap *AP) scheduleBeacon() {
 }
 
 func (ap *AP) sendBeacon() {
-	if ap.stopped {
+	if ap.stopped || ap.down {
+		return
+	}
+	if ap.quiet {
+		ap.SuppressedBeacons++
 		return
 	}
 	ap.Beacons++
@@ -194,7 +236,7 @@ func (ap *AP) macAllowed(mac ethernet.MAC) bool {
 }
 
 func (ap *AP) onFrame(f Frame, info phy.RxInfo) {
-	if ap.stopped {
+	if ap.stopped || ap.down {
 		return
 	}
 	// MAC-layer address filter: frames for us or broadcast.
@@ -412,7 +454,7 @@ func (ap *AP) onData(f Frame) {
 
 // onUplinkFrame handles wire → BSS traffic.
 func (ap *AP) onUplinkFrame(f ethernet.Frame) {
-	if ap.stopped {
+	if ap.stopped || ap.down {
 		return
 	}
 	ap.bridge(f.Src, f.Dst, f.Type, f.Payload, fromWire)

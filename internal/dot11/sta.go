@@ -88,7 +88,15 @@ type STAConfig struct {
 	// AutoReconnect rescans after any disconnect (default true via
 	// NewSTA; set DisableReconnect to turn off).
 	DisableReconnect bool
-	Rate             phy.Rate
+	// ReconnectBackoffBase is the delay before the first retry after a
+	// failed attempt or a disconnect (default 250 ms). Each consecutive
+	// failure doubles the delay up to ReconnectBackoffMax (default 8 s),
+	// plus uniform jitter of half the current step so colliding clients
+	// desynchronise. A completed association resets the ladder. Without
+	// this a deauth storm livelocks the client in a tight scan loop.
+	ReconnectBackoffBase sim.Time
+	ReconnectBackoffMax  sim.Time
+	Rate                 phy.Rate
 }
 
 // STA is a client station. After Connect it scans, authenticates, associates
@@ -107,6 +115,9 @@ type STA struct {
 	stepTimeout *sim.Event
 	beaconCheck *sim.Event
 	stopped     bool
+	// backoffN counts consecutive failed connection attempts; it drives the
+	// exponential reconnect ladder and resets on association.
+	backoffN int
 
 	// OnAssociate fires when association completes.
 	OnAssociate func(bss BSS)
@@ -119,6 +130,7 @@ type STA struct {
 	Disconnects     uint64
 	RxICVFailures   uint64
 	DeauthsReceived uint64
+	Backoffs        uint64
 }
 
 // NewSTA creates a station (idle; call Connect to join a network).
@@ -128,6 +140,12 @@ func NewSTA(k *sim.Kernel, radio *phy.Radio, cfg STAConfig) *STA {
 	}
 	if cfg.BeaconLossTimeout == 0 {
 		cfg.BeaconLossTimeout = sim.Second
+	}
+	if cfg.ReconnectBackoffBase == 0 {
+		cfg.ReconnectBackoffBase = 250 * sim.Millisecond
+	}
+	if cfg.ReconnectBackoffMax == 0 {
+		cfg.ReconnectBackoffMax = 8 * sim.Second
 	}
 	if cfg.IVSource == nil {
 		cfg.IVSource = &wep.SequentialIV{}
@@ -176,8 +194,16 @@ func (s *STA) cancelTimers() {
 	}
 }
 
-// Connect begins scanning for the configured SSID.
+// Connect begins scanning for the configured SSID. An explicit Connect is a
+// fresh start: it resets the reconnect backoff ladder.
 func (s *STA) Connect() {
+	s.backoffN = 0
+	s.connect()
+}
+
+// connect starts a scan cycle without touching the backoff ladder — the
+// internal entry point retries use.
+func (s *STA) connect() {
 	if s.stopped {
 		return
 	}
@@ -187,6 +213,37 @@ func (s *STA) Connect() {
 	s.scanChan = phy.MinChannel
 	s.ScanCycles++
 	s.scanStep()
+}
+
+// BackoffLevel reports the current rung of the reconnect ladder (0 after a
+// successful association).
+func (s *STA) BackoffLevel() int { return s.backoffN }
+
+// retry schedules the next connection attempt after a seeded exponential
+// backoff with jitter. Every failure path — empty scan, management timeout,
+// auth/assoc rejection, disconnect — funnels through here, so no sequence of
+// adversarial frames can pin the client in a zero-delay scan loop.
+func (s *STA) retry() {
+	if s.stopped {
+		return
+	}
+	if s.backoffN < 20 {
+		s.backoffN++
+	}
+	s.Backoffs++
+	s.cancelTimers()
+	s.stepTimeout = s.kernel.After(s.backoffDelay(), s.connect)
+}
+
+func (s *STA) backoffDelay() sim.Time {
+	step := s.cfg.ReconnectBackoffBase
+	for i := 1; i < s.backoffN && step < s.cfg.ReconnectBackoffMax; i++ {
+		step *= 2
+	}
+	if step > s.cfg.ReconnectBackoffMax {
+		step = s.cfg.ReconnectBackoffMax
+	}
+	return step + s.rng.Jitter(step/2)
 }
 
 func (s *STA) scanStep() {
@@ -214,8 +271,7 @@ func (s *STA) scanStep() {
 func (s *STA) finishScan() {
 	best, ok := s.pickBSS()
 	if !ok {
-		// Nothing found; retry after a backoff.
-		s.stepTimeout = s.kernel.After(500*sim.Millisecond+s.rng.Jitter(500*sim.Millisecond), func() { s.Connect() })
+		s.retry() // nothing found; back off before the next scan cycle
 		return
 	}
 	s.join(best)
@@ -292,9 +348,9 @@ func (s *STA) armStepTimeout() {
 		s.stepTimeout.Cancel()
 	}
 	s.stepTimeout = s.kernel.After(mgmtTimeout, func() {
-		// Step timed out; start over.
+		// Step timed out; back off, then start over.
 		if s.state == StateAuthenticating || s.state == StateAssociating {
-			s.Connect()
+			s.retry()
 		}
 	})
 }
@@ -363,7 +419,7 @@ func (s *STA) onAuth(f Frame) {
 		return
 	}
 	if body.Status != StatusSuccess {
-		s.Connect() // rejected; rescan
+		s.retry() // rejected; back off, then rescan
 		return
 	}
 	switch {
@@ -404,13 +460,14 @@ func (s *STA) onAssocResp(f Frame) {
 		return
 	}
 	if body.Status != StatusSuccess {
-		s.Connect()
+		s.retry()
 		return
 	}
 	if s.stepTimeout != nil {
 		s.stepTimeout.Cancel()
 	}
 	s.state = StateAssociated
+	s.backoffN = 0
 	s.AssocCount++
 	s.lastBeacon = s.kernel.Now()
 	s.armBeaconCheck()
@@ -444,7 +501,7 @@ func (s *STA) disconnect(reason string) {
 		s.OnDisconnect(reason)
 	}
 	if !s.cfg.DisableReconnect && !s.stopped {
-		s.Connect()
+		s.retry()
 	}
 }
 

@@ -21,11 +21,33 @@ type Port struct {
 
 	recv        Receiver
 	promiscuous bool
+	faults      *FaultProfile
 
 	// Counters.
 	TxFrames, RxFrames uint64
 	TxBytes, RxBytes   uint64
+	// Fault counters (only move while a FaultProfile is installed).
+	FaultDrops, FaultCorrupted, FaultDuplicated uint64
 }
+
+// FaultProfile injects wire-level faults into a port's transmissions: a bad
+// crimp (drops), a marginal PHY (single-byte corruption the IP checksum must
+// catch), or a flapping bridge loop (duplicate delivery). All decisions draw
+// from the given RNG, so faulty runs stay a pure function of the seed.
+// internal/faults installs and removes profiles on schedule.
+type FaultProfile struct {
+	DropP    float64
+	CorruptP float64
+	DupP     float64
+	RNG      *sim.RNG
+}
+
+// SetFaults installs (or, with nil, removes) the port's fault profile.
+func (p *Port) SetFaults(fp *FaultProfile) { p.faults = fp }
+
+// Peer returns the other end of the cable (nil if unplugged). Fault
+// installers use it to cover both directions of a link.
+func (p *Port) Peer() *Port { return p.peer }
 
 // PortConfig configures one cable. Zero values get sensible defaults
 // (100 Mb/s, 1 µs propagation).
@@ -84,6 +106,28 @@ func (p *Port) Transmit(f Frame) {
 		p.kernel.Tracef("ethernet", "drop oversize frame (%d > MTU %d)", len(f.Payload), p.mtu)
 		return
 	}
+	if fp := p.faults; fp != nil && fp.RNG != nil {
+		if fp.RNG.Bool(fp.DropP) {
+			p.FaultDrops++
+			return
+		}
+		if len(f.Payload) > 0 && fp.RNG.Bool(fp.CorruptP) {
+			payload := append([]byte(nil), f.Payload...)
+			payload[fp.RNG.Intn(len(payload))] ^= 0xff
+			f.Payload = payload
+			p.FaultCorrupted++
+		}
+		if fp.RNG.Bool(fp.DupP) {
+			p.FaultDuplicated++
+			p.transmit(f)
+		}
+	}
+	p.transmit(f)
+}
+
+// transmit is the fault-free wire path: serialise on the cable, deliver to
+// the peer after airtime plus propagation.
+func (p *Port) transmit(f Frame) {
 	txTime := sim.Time(math.Round(float64(f.WireLen()*8) / p.bitsPerSec * float64(sim.Second)))
 	start := p.kernel.Now()
 	if p.busyUntil > start {

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/vpn"
+)
+
+// The chaos experiments (E10–E12) quantify the robustness layer: the same
+// deterministic worlds as E1–E9, but with a fault schedule installed
+// (core.Config.Faults). Every row is a pure function of its seeds, so these
+// tables golden-pin the recovery behaviour, not just the attack behaviour.
+
+// E10DeauthStorm (§4): a forged-deauth storm is the rogue's herding tool.
+// Without a rogue the client rides the storm out on its reconnect backoff
+// and returns to the real AP; with a stronger-signal rogue present, every
+// disconnection is a fresh chance to land on the attacker.
+func E10DeauthStorm(s Scale) Table {
+	t := Table{
+		ID:    "E10",
+		Title: "Forged-deauth storm: recovery vs rogue takeover (§4)",
+		Columns: []string{"configuration", "storm", "associated at end",
+			"on rogue at end", "mean scan cycles"},
+		Notes: []string{
+			"storm: deauth@5s+10s(interval=100ms) — 100 forged deauths from the real BSSID on channel 1",
+			"reconnect backoff (250 ms doubling to 8 s) bounds the scan rate, so the storm cannot livelock the client",
+			"once herded onto the rogue's channel the client stops hearing the channel-1 storm — takeover is sticky",
+		},
+	}
+	type scenario struct {
+		name  string
+		rogue bool
+		storm bool
+	}
+	scenarios := []scenario{
+		{"no rogue", false, false},
+		{"no rogue", false, true},
+		{"cloned-BSSID rogue at 2 m", true, false},
+		{"cloned-BSSID rogue at 2 m", true, true},
+	}
+	for _, sc := range scenarios {
+		type out struct {
+			assoc, onRogue bool
+			scans          uint64
+		}
+		results := core.Sweep(core.Seeds(10, s.trials()), func(seed uint64) out {
+			cfg := core.Config{
+				Seed:  seed,
+				APPos: phyPos(0), VictimPos: phyPos(40), RoguePos: phyPos(42),
+				Rogue: sc.rogue, RogueCloneBSSID: true, RoguePureRelay: true,
+			}
+			if sc.storm {
+				cfg.Faults = "deauth@5s+10s(interval=100ms)"
+			}
+			w := core.NewWorld(cfg)
+			w.VictimConnect()
+			w.Run(60 * sim.Second) // storm ends at 15 s; 45 s of recovery room
+			return out{assoc: w.VictimAssociated(), onRogue: w.VictimOnRogue(),
+				scans: w.Victim.STA.ScanCycles}
+		})
+		var assoc, onRogue []bool
+		var scans []float64
+		for _, r := range results {
+			assoc = append(assoc, r.assoc)
+			onRogue = append(onRogue, r.onRogue)
+			scans = append(scans, float64(r.scans))
+		}
+		storm := "off"
+		if sc.storm {
+			storm = "on"
+		}
+		t.AddRow(sc.name, storm, pct(core.Fraction(assoc)),
+			pct(core.Fraction(onRogue)), fmt.Sprintf("%.1f", core.Mean(scans)))
+	}
+	return t
+}
+
+// E11APOutage (§5): the defended client's tunnel across a real-AP reboot.
+// A short outage sits inside the dead-peer-detection budget and the session
+// simply resumes; a long one trips DPD, and the client re-handshakes —
+// fresh keys, same tunnel address — once the AP returns.
+func E11APOutage(s Scale) Table {
+	t := Table{
+		ID:    "E11",
+		Title: "VPN session survival across an AP crash/restart",
+		Columns: []string{"carrier", "AP outage", "tunnel up at end",
+			"download clean", "mean rekeys", "mean peer timeouts"},
+		Notes: []string{
+			"keepalive 2 s, peer timeout 6 s (3×), reconnect backoff 1 s doubling to 30 s",
+			"3 s outage is inside the DPD budget, though reassociation delay can still trip it on the TCP carrier",
+			"20 s outage: DPD declares the peer dead; recovery is a rekeyed session reusing the same tunnel IP",
+		},
+	}
+	type scenario struct {
+		name    string
+		carrier vpn.Carrier
+		faults  string
+	}
+	scenarios := []scenario{
+		{"TCP (PPP/SSH)", vpn.CarrierTCP, "apcrash@35s+3s"},
+		{"TCP (PPP/SSH)", vpn.CarrierTCP, "apcrash@35s+20s"},
+		{"UDP", vpn.CarrierUDP, "apcrash@35s+3s"},
+		{"UDP", vpn.CarrierUDP, "apcrash@35s+20s"},
+	}
+	for _, sc := range scenarios {
+		type out struct {
+			up, clean      bool
+			rekeys, pdeads float64
+		}
+		results := core.Sweep(core.Seeds(11, s.trials()), func(seed uint64) out {
+			cfg := core.Config{
+				Seed: seed, VictimPos: phyPos(20),
+				VPNServer: true, VPNCarrier: sc.carrier,
+				VPNKeepalive: 2 * sim.Second,
+				Faults:       sc.faults,
+			}
+			w := core.NewWorld(cfg)
+			w.VictimConnect()
+			w.Run(10 * sim.Second)
+			up := false
+			w.EnableVictimVPN(nil, func(err error) { up = err == nil })
+			w.Run(20 * sim.Second)
+			if !up {
+				return out{}
+			}
+			var res core.DownloadResult
+			w.VictimDownload(func(r core.DownloadResult) { res = r })
+			w.Run(90 * sim.Second) // outage ends by 55 s; ample recovery room
+			return out{
+				up: w.VictimVPN.Up(), clean: res.Clean(),
+				rekeys: float64(w.VictimVPN.Rekeys), pdeads: float64(w.VictimVPN.PeerTimeouts),
+			}
+		})
+		var ups, cleans []bool
+		var rekeys, pdeads []float64
+		for _, r := range results {
+			ups = append(ups, r.up)
+			cleans = append(cleans, r.clean)
+			rekeys = append(rekeys, r.rekeys)
+			pdeads = append(pdeads, r.pdeads)
+		}
+		outage := "3 s"
+		if sc.faults == "apcrash@35s+20s" {
+			outage = "20 s"
+		}
+		t.AddRow(sc.name, outage, pct(core.Fraction(ups)), pct(core.Fraction(cleans)),
+			fmt.Sprintf("%.1f", core.Mean(rekeys)), fmt.Sprintf("%.1f", core.Mean(pdeads)))
+	}
+	return t
+}
+
+// E12BurstLoss: the download against Gilbert–Elliott bad-air windows. TCP
+// grinds through the loss; the point of the table is that it FINISHES, and
+// what the bursts cost in completion time.
+func E12BurstLoss(s Scale) Table {
+	t := Table{
+		ID:    "E12",
+		Title: "Download completion under burst loss (Gilbert–Elliott air)",
+		Columns: []string{"air quality", "download completed", "verified clean",
+			"mean completion (s)"},
+		Notes: []string{
+			"200 kB download starting at t=10 s, inside a 60 s fault window opening at t=5 s",
+			"burst chain steps once per completed transmission; loss applies channel-wide while in the bad state",
+		},
+	}
+	type scenario struct {
+		name   string
+		faults string
+	}
+	scenarios := []scenario{
+		{"clear", ""},
+		{"bursty (90% bad-state loss)", "burst@5s+60s(pgb=0.02,pbg=0.25,loss=0.9)"},
+		{"severe (95% bad-state loss, sticky)", "burst@5s+60s(pgb=0.08,pbg=0.15,loss=0.95)"},
+	}
+	file := make([]byte, 200_000)
+	for i := range file {
+		file[i] = byte(i * 7)
+	}
+	for _, sc := range scenarios {
+		type out struct {
+			done, clean bool
+			secs        float64
+		}
+		results := core.Sweep(core.Seeds(12, s.trials()), func(seed uint64) out {
+			cfg := core.Config{Seed: seed, VictimPos: phyPos(20), Faults: sc.faults,
+				FileContents: file}
+			w := core.NewWorld(cfg)
+			w.VictimConnect()
+			w.Run(10 * sim.Second)
+			start := w.Kernel.Now()
+			var res core.DownloadResult
+			var doneAt sim.Time
+			w.VictimDownload(func(r core.DownloadResult) { res = r; doneAt = w.Kernel.Now() })
+			// Long run: under severe loss TCP's retransmission timer can back
+			// off past the fault window itself, so completion may land minutes
+			// after the air clears.
+			w.Run(5 * sim.Minute)
+			if res.Err != nil || doneAt == 0 {
+				return out{}
+			}
+			return out{done: true, clean: res.Clean(), secs: (doneAt - start).Seconds()}
+		})
+		var dones, cleans []bool
+		var secs []float64
+		for _, r := range results {
+			dones = append(dones, r.done)
+			cleans = append(cleans, r.clean)
+			if r.done {
+				secs = append(secs, r.secs)
+			}
+		}
+		mean := "-"
+		if len(secs) > 0 {
+			mean = fmt.Sprintf("%.2f", core.Mean(secs))
+		}
+		t.AddRow(sc.name, pct(core.Fraction(dones)), pct(core.Fraction(cleans)), mean)
+	}
+	return t
+}

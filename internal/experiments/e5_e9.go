@@ -329,5 +329,8 @@ func All(s Scale) []Table {
 		E7Detection(s),
 		E8Eavesdrop(s),
 		E9Overhead(s),
+		E10DeauthStorm(s),
+		E11APOutage(s),
+		E12BurstLoss(s),
 	}
 }

@@ -188,3 +188,55 @@ func TestE2dShape(t *testing.T) {
 		t.Fatalf("VPN row: %v", tbl.Rows[2])
 	}
 }
+
+func TestE10Shape(t *testing.T) {
+	tbl := E10DeauthStorm(tiny)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// No rogue: the client always recovers from the storm onto the real AP.
+	if mustCell(t, tbl, 1, 2) != "100%" || mustCell(t, tbl, 1, 3) != "0%" {
+		t.Fatalf("no-rogue storm row: %v", tbl.Rows[1])
+	}
+	// Rogue present: the client ends up associated either way.
+	if mustCell(t, tbl, 3, 2) != "100%" {
+		t.Fatalf("rogue storm row: %v", tbl.Rows[3])
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	tbl := E11APOutage(tiny)
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for i, r := range tbl.Rows {
+		if r[2] != "100%" {
+			t.Fatalf("row %d: tunnel not up at end: %v", i, r)
+		}
+	}
+	// The long outages (rows 1, 3) must actually exercise DPD: at least one
+	// peer timeout and one rekey on average.
+	for _, i := range []int{1, 3} {
+		if mustCell(t, tbl, i, 4) == "0.0" || mustCell(t, tbl, i, 5) == "0.0" {
+			t.Fatalf("long-outage row %d saw no DPD/rekey: %v", i, tbl.Rows[i])
+		}
+	}
+	// The short UDP outage (row 2) must not trip DPD. (The TCP carrier's
+	// reassociation delay can push a short outage past the budget on some
+	// seeds, so row 0 is not pinned.)
+	if mustCell(t, tbl, 2, 5) != "0.0" {
+		t.Fatalf("short-outage UDP row tripped DPD: %v", tbl.Rows[2])
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	tbl := E12BurstLoss(tiny)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for i, r := range tbl.Rows {
+		if r[1] != "100%" || r[2] != "100%" {
+			t.Fatalf("row %d: download did not complete cleanly: %v", i, r)
+		}
+	}
+}

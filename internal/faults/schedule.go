@@ -1,0 +1,324 @@
+// Package faults is the deterministic fault-injection subsystem: declarative
+// schedules of timed faults (burst loss, AP crashes, deauth storms, link
+// flaps, frame corruption, host partitions) executed by the sim kernel, and
+// the measurement hooks that let tests prove the stack self-heals afterwards.
+//
+// A schedule is a compact string — "deauth@2s+6s(interval=100ms);apcrash@20s+3s"
+// — parsed once and replayed as kernel events, so a chaos run is exactly as
+// reproducible as a clean one: the same seed and the same schedule give the
+// same trace digest, and internal/check asserts it.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Kind names one class of injectable fault.
+type Kind string
+
+// The fault kinds, by layer.
+const (
+	// KindBurst installs a Gilbert–Elliott burst-loss model on the shared
+	// medium (phy). Params: pgb, pbg, loss, goodloss.
+	KindBurst Kind = "burst"
+	// KindAPCrash takes the real AP down — beacons stop, station state is
+	// lost (a reboot forgets associations) — and restarts it at the end of
+	// the window (dot11).
+	KindAPCrash Kind = "apcrash"
+	// KindQuiet suppresses the real AP's beacons without dropping station
+	// state — a stalled beacon generator. Probe responses still work, so
+	// clients recover by rescanning (dot11).
+	KindQuiet Kind = "quiet"
+	// KindLinkFlap takes the victim's radio off the air — hardware blink —
+	// and restores it (phy/dot11).
+	KindLinkFlap Kind = "linkflap"
+	// KindDeauth runs an attack.Deauther flood against the victim, spoofed
+	// from the real BSSID. Params: interval.
+	KindDeauth Kind = "deauth"
+	// KindJam runs a phy.Jammer on the real AP's channel from the attack
+	// position — beacon suppression the way an attacker actually does it.
+	// Params: bytes.
+	KindJam Kind = "jam"
+	// KindCorrupt flips one byte in a fraction of frames crossing the AP's
+	// wired uplink (ethernet). Params: p.
+	KindCorrupt Kind = "corrupt"
+	// KindDup delivers a fraction of uplink frames twice (ethernet).
+	// Params: p.
+	KindDup Kind = "dup"
+	// KindPartition isolates one host's IP stack — everything in or out is
+	// dropped (ipv4). Params: host.
+	KindPartition Kind = "partition"
+)
+
+// kinds is the closed set of valid kinds.
+var kinds = map[Kind]bool{
+	KindBurst: true, KindAPCrash: true, KindQuiet: true, KindLinkFlap: true,
+	KindDeauth: true, KindJam: true, KindCorrupt: true, KindDup: true,
+	KindPartition: true,
+}
+
+// Injection is one scheduled fault: apply Kind at At, revert it Duration
+// later, and repeat Count times Period apart.
+type Injection struct {
+	Kind     Kind
+	At       sim.Time
+	Duration sim.Time
+	// Count is the number of occurrences (>= 1); Period separates their
+	// start times when Count > 1.
+	Count  int
+	Period sim.Time
+	// Params are the kind-specific knobs, raw as parsed. Typed accessors
+	// (Float, Dur, Str) apply defaults.
+	Params map[string]string
+}
+
+// DefaultDuration applies when an entry omits "+dur".
+const DefaultDuration = sim.Second
+
+// Float reads a float param with a default.
+func (i Injection) Float(key string, def float64) float64 {
+	if v, ok := i.Params[key]; ok {
+		if f, err := strconv.ParseFloat(v, 64); err == nil {
+			return f
+		}
+	}
+	return def
+}
+
+// Dur reads a duration param with a default.
+func (i Injection) Dur(key string, def sim.Time) sim.Time {
+	if v, ok := i.Params[key]; ok {
+		if d, err := time.ParseDuration(v); err == nil && d >= 0 {
+			return sim.Time(d)
+		}
+	}
+	return def
+}
+
+// Str reads a string param with a default.
+func (i Injection) Str(key, def string) string {
+	if v, ok := i.Params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// End reports when the last occurrence of this injection clears.
+func (i Injection) End() sim.Time {
+	last := i.At
+	if i.Count > 1 {
+		last += sim.Time(i.Count-1) * i.Period
+	}
+	return last + i.Duration
+}
+
+// String renders the injection in schedule grammar (params sorted, so the
+// rendering is canonical and Parse∘String is the identity on semantics).
+func (i Injection) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s@%s", i.Kind, i.At.Duration())
+	b.WriteString("+" + i.Duration.Duration().String())
+	if i.Count > 1 {
+		fmt.Fprintf(&b, "*%d/%s", i.Count, i.Period.Duration())
+	}
+	if len(i.Params) > 0 {
+		keys := make([]string, 0, len(i.Params))
+		for k := range i.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for n, k := range keys {
+			parts[n] = k + "=" + i.Params[k]
+		}
+		b.WriteString("(" + strings.Join(parts, ",") + ")")
+	}
+	return b.String()
+}
+
+// Schedule is an ordered list of injections.
+type Schedule []Injection
+
+// String renders the schedule in parseable grammar.
+func (s Schedule) String() string {
+	parts := make([]string, len(s))
+	for i, inj := range s {
+		parts[i] = inj.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// LastEnd reports when the final fault in the schedule clears — the moment
+// from which the convergence clock runs. Zero for an empty schedule.
+func (s Schedule) LastEnd() sim.Time {
+	var last sim.Time
+	for _, inj := range s {
+		if e := inj.End(); e > last {
+			last = e
+		}
+	}
+	return last
+}
+
+// Parse reads the compact schedule grammar:
+//
+//	schedule := entry (';' entry)*
+//	entry    := kind '@' start ['+' dur] ['*' count '/' period] ['(' k=v (',' k=v)* ')']
+//
+// where start/dur/period use Go duration syntax ("2s", "100ms"). A missing
+// duration defaults to 1s; a missing repeat means one occurrence.
+//
+//	deauth@2s+6s(interval=100ms)
+//	apcrash@20s+3s
+//	linkflap@15s+500ms*3/5s
+//	burst@12s+45s(pgb=0.02,pbg=0.25,loss=0.9)
+func Parse(s string) (Schedule, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("faults: empty schedule")
+	}
+	var sched Schedule
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		inj, err := parseEntry(entry)
+		if err != nil {
+			return nil, err
+		}
+		sched = append(sched, inj)
+	}
+	if len(sched) == 0 {
+		return nil, fmt.Errorf("faults: empty schedule")
+	}
+	return sched, nil
+}
+
+func parseEntry(entry string) (Injection, error) {
+	inj := Injection{Duration: DefaultDuration, Count: 1}
+
+	// Trailing (params).
+	if open := strings.IndexByte(entry, '('); open >= 0 {
+		if !strings.HasSuffix(entry, ")") {
+			return inj, fmt.Errorf("faults: %q: unterminated params", entry)
+		}
+		raw := entry[open+1 : len(entry)-1]
+		entry = entry[:open]
+		inj.Params = make(map[string]string)
+		for _, kv := range strings.Split(raw, ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+			if !ok || k == "" || v == "" {
+				return inj, fmt.Errorf("faults: %q: bad param %q", entry, kv)
+			}
+			inj.Params[k] = v
+		}
+		if len(inj.Params) == 0 {
+			inj.Params = nil
+		}
+	}
+
+	kindStr, rest, ok := strings.Cut(entry, "@")
+	if !ok {
+		return inj, fmt.Errorf("faults: %q: missing '@start'", entry)
+	}
+	inj.Kind = Kind(strings.TrimSpace(kindStr))
+	if !kinds[inj.Kind] {
+		return inj, fmt.Errorf("faults: unknown fault kind %q", inj.Kind)
+	}
+
+	// rest := start ['+' dur] ['*' count '/' period]
+	if star := strings.IndexByte(rest, '*'); star >= 0 {
+		rep := rest[star+1:]
+		rest = rest[:star]
+		countStr, periodStr, ok := strings.Cut(rep, "/")
+		if !ok {
+			return inj, fmt.Errorf("faults: %q: repeat needs count/period", entry)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(countStr))
+		if err != nil || n < 1 {
+			return inj, fmt.Errorf("faults: %q: bad repeat count %q", entry, countStr)
+		}
+		period, err := parseDur(periodStr)
+		if err != nil || period <= 0 {
+			return inj, fmt.Errorf("faults: %q: bad repeat period %q", entry, periodStr)
+		}
+		inj.Count, inj.Period = n, period
+	}
+	startStr, durStr, hasDur := strings.Cut(rest, "+")
+	start, err := parseDur(startStr)
+	if err != nil || start < 0 {
+		return inj, fmt.Errorf("faults: %q: bad start time %q", entry, startStr)
+	}
+	inj.At = start
+	if hasDur {
+		d, err := parseDur(durStr)
+		if err != nil || d < 0 {
+			return inj, fmt.Errorf("faults: %q: bad duration %q", entry, durStr)
+		}
+		inj.Duration = d
+	}
+	if inj.Count > 1 && inj.Period < inj.Duration {
+		return inj, fmt.Errorf("faults: %q: repeat period %v shorter than duration %v (occurrences would overlap themselves)",
+			entry, inj.Period, inj.Duration)
+	}
+	return inj, nil
+}
+
+func parseDur(s string) (sim.Time, error) {
+	d, err := time.ParseDuration(strings.TrimSpace(s))
+	if err != nil {
+		return 0, err
+	}
+	return sim.Time(d), nil
+}
+
+// Builtins maps short chaos-schedule names (accepted anywhere a schedule
+// string is, e.g. roguesim -faults) to their full schedules. These are the
+// schedules the chaos scenarios and the determinism matrix in internal/check
+// exercise.
+func Builtins() map[string]string {
+	return map[string]string{
+		// A deauth flood during the association window: the client must
+		// ride it out with backoff and end up associated somewhere.
+		"deauth-storm": "deauth@2s+6s(interval=100ms)",
+		// The real AP reboots mid-workload; associations are forgotten.
+		"ap-restart": "apcrash@35s+3s",
+		// A long Gilbert–Elliott bad spell across the download.
+		"burst-loss": "burst@12s+45s(pgb=0.02,pbg=0.25,loss=0.9)",
+		// The victim's own radio blinks three times.
+		"link-flap": "linkflap@15s+500ms*3/5s",
+		// Everything at once, non-overlapping: storm, reboot, burst, bitrot.
+		"mixed": "deauth@2s+4s;apcrash@20s+2s;burst@30s+20s(loss=0.8);corrupt@55s+5s(p=0.02)",
+	}
+}
+
+// BuiltinNames lists the builtin schedule names in sorted order.
+func BuiltinNames() []string {
+	m := Builtins()
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Resolve accepts either a builtin schedule name or a raw schedule string.
+func Resolve(s string) (Schedule, error) {
+	if full, ok := Builtins()[strings.TrimSpace(s)]; ok {
+		s = full
+	}
+	return Parse(s)
+}

@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParseEntryForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Injection
+	}{
+		{"apcrash@20s+3s", Injection{Kind: KindAPCrash, At: 20 * sim.Second, Duration: 3 * sim.Second, Count: 1}},
+		{"burst@1s", Injection{Kind: KindBurst, At: sim.Second, Duration: DefaultDuration, Count: 1}},
+		{"linkflap@15s+500ms*3/5s", Injection{Kind: KindLinkFlap, At: 15 * sim.Second, Duration: 500 * sim.Millisecond, Count: 3, Period: 5 * sim.Second}},
+		{"deauth@2s+6s(interval=100ms)", Injection{Kind: KindDeauth, At: 2 * sim.Second, Duration: 6 * sim.Second, Count: 1, Params: map[string]string{"interval": "100ms"}}},
+		{" quiet@1s + 2s ", Injection{Kind: KindQuiet, At: sim.Second, Duration: 2 * sim.Second, Count: 1}},
+	}
+	for _, c := range cases {
+		sched, err := Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		if len(sched) != 1 {
+			t.Errorf("Parse(%q): %d entries, want 1", c.in, len(sched))
+			continue
+		}
+		got := sched[0]
+		if got.Kind != c.want.Kind || got.At != c.want.At || got.Duration != c.want.Duration ||
+			got.Count != c.want.Count || got.Period != c.want.Period {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		for k, v := range c.want.Params {
+			if got.Params[k] != v {
+				t.Errorf("Parse(%q): param %s = %q, want %q", c.in, k, got.Params[k], v)
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		";;",
+		"frob@1s",          // unknown kind
+		"burst",            // missing @start
+		"burst@-1s",        // negative start
+		"burst@1s+-2s",     // negative duration
+		"burst@1s+2s*0/5s", // zero count
+		"burst@1s+2s*3/1s", // period < duration
+		"burst@1s+2s*3",    // repeat without period
+		"burst@1s(pgb=)",   // empty param value
+		"burst@1s(pgb=0.1", // unterminated params
+		"burst@soon",       // unparseable duration
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", in)
+		}
+	}
+}
+
+func TestScheduleStringRoundTrip(t *testing.T) {
+	in := "deauth@2s+6s(interval=100ms);apcrash@20s+3s;linkflap@15s+500ms*3/5s"
+	s1, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(s1.String())
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", s1.String(), err)
+	}
+	if s1.String() != s2.String() {
+		t.Errorf("round trip changed schedule: %q != %q", s1.String(), s2.String())
+	}
+}
+
+func TestLastEnd(t *testing.T) {
+	s, err := Parse("burst@1s+2s;linkflap@10s+500ms*3/5s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// linkflap: last occurrence starts at 10s+2*5s=20s, clears at 20.5s.
+	if want := 20*sim.Second + 500*sim.Millisecond; s.LastEnd() != want {
+		t.Errorf("LastEnd = %v, want %v", s.LastEnd(), want)
+	}
+}
+
+func TestBuiltinsAllParse(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		sched, err := Resolve(name)
+		if err != nil {
+			t.Errorf("builtin %q does not parse: %v", name, err)
+			continue
+		}
+		if sched.LastEnd() <= 0 {
+			t.Errorf("builtin %q has a zero-length schedule", name)
+		}
+	}
+	// Resolve must also accept a raw schedule string.
+	if _, err := Resolve("burst@1s+2s"); err != nil {
+		t.Errorf("Resolve(raw schedule): %v", err)
+	}
+	if _, err := Resolve("no-such-builtin"); err == nil {
+		t.Error("Resolve(unknown name) unexpectedly succeeded")
+	}
+}
+
+func TestInjectionParamAccessors(t *testing.T) {
+	sched, err := Parse("burst@1s(pgb=0.5,interval=250ms,host=web)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := sched[0]
+	if got := inj.Float("pgb", 0); got != 0.5 {
+		t.Errorf("Float(pgb) = %v, want 0.5", got)
+	}
+	if got := inj.Float("missing", 0.25); got != 0.25 {
+		t.Errorf("Float default = %v, want 0.25", got)
+	}
+	if got := inj.Dur("interval", 0); got != 250*sim.Millisecond {
+		t.Errorf("Dur(interval) = %v, want 250ms", got)
+	}
+	if got := inj.Str("host", "victim"); got != "web" {
+		t.Errorf("Str(host) = %q, want web", got)
+	}
+	if got := inj.Str("other", "victim"); got != "victim" {
+		t.Errorf("Str default = %q, want victim", got)
+	}
+}
+
+func FuzzParseSchedule(f *testing.F) {
+	for _, full := range Builtins() {
+		f.Add(full)
+	}
+	f.Add("burst@1s+2s*3/5s(pgb=0.1,loss=1)")
+	f.Add("partition@0s(host=web);corrupt@1m+30s(p=0.5)")
+	f.Add("jam@100ms")
+	f.Fuzz(func(t *testing.T, in string) {
+		sched, err := Parse(in)
+		if err != nil {
+			return
+		}
+		// Whatever parses must render canonically and re-parse to the same
+		// canonical form.
+		out := sched.String()
+		again, err := Parse(out)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", out, in, err)
+		}
+		if again.String() != out {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q", out, again.String())
+		}
+		if strings.TrimSpace(in) != "" && sched.LastEnd() < 0 {
+			t.Fatalf("negative LastEnd for %q", in)
+		}
+	})
+}

@@ -90,6 +90,9 @@ type Stack struct {
 	nextID      uint16
 	rng         *sim.RNG
 	onEchoReply EchoCallback
+	// partitioned isolates the host at L3: everything in or out is dropped
+	// (the partition fault — an unplugged router, a dead VLAN).
+	partitioned bool
 
 	// Loop guard: outer bound on local deliver->send recursion via
 	// loopback-style patterns. (Defensive; not normally hit.)
@@ -98,7 +101,17 @@ type Stack struct {
 	RxPackets, TxPackets, Forwarded uint64
 	RxDropped, TTLExpired, NoRoute  uint64
 	HookDrops, ChecksumErrors       uint64
+	PartitionDrops                  uint64
 }
+
+// SetPartitioned cuts the host off the network (true) or reconnects it
+// (false). While partitioned, every arriving frame (including ARP) and every
+// outbound routed packet is dropped and counted in PartitionDrops; local
+// loopback delivery still works, as it would on a real host.
+func (s *Stack) SetPartitioned(on bool) { s.partitioned = on }
+
+// Partitioned reports whether the host is currently isolated.
+func (s *Stack) Partitioned() bool { return s.partitioned }
 
 // NewStack creates a host stack. The name is used in traces.
 func NewStack(k *sim.Kernel, name string) *Stack {
@@ -254,6 +267,10 @@ func (s *Stack) Send(src, dst inet.Addr, proto uint8, payload []byte) error {
 
 // route finds the egress and transmits (used by Send and forwarding).
 func (s *Stack) route(pkt *Packet, inIface string) error {
+	if s.partitioned {
+		s.PartitionDrops++
+		return fmt.Errorf("ipv4: %s is partitioned", s.name)
+	}
 	r, ok := s.LookupRoute(pkt.Dst)
 	if !ok {
 		s.NoRoute++
@@ -290,6 +307,10 @@ func (s *Stack) route(pkt *Packet, inIface string) error {
 
 // onFrame handles an L2 frame arriving on ifc.
 func (s *Stack) onFrame(ifc *Iface, f ethernet.Frame) {
+	if s.partitioned {
+		s.PartitionDrops++
+		return
+	}
 	switch f.Type {
 	case ethernet.TypeARP:
 		ifc.ARP.HandleFrame(f.Payload)

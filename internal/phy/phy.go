@@ -120,6 +120,24 @@ func (c *Config) fill() {
 	}
 }
 
+// BurstLoss is a two-state Gilbert–Elliott channel-condition model: the
+// medium is either Good or Bad, hopping between the states once per
+// completed transmission, and each state adds its own frame-loss
+// probability on top of the SNR model. A microwave oven, a passing forklift,
+// or a jammer duty cycle all look like this to a receiver: loss arrives in
+// bursts, not independently per frame — which is exactly the condition that
+// exposes naive retransmission and reassociation logic.
+type BurstLoss struct {
+	// PGoodToBad is the per-frame probability of entering the Bad state.
+	PGoodToBad float64
+	// PBadToGood is the per-frame probability of recovering to Good.
+	PBadToGood float64
+	// GoodLoss is the extra loss probability while Good (usually 0).
+	GoodLoss float64
+	// BadLoss is the extra loss probability while Bad.
+	BadLoss float64
+}
+
 // Medium is the shared air. All radios attach to one Medium.
 type Medium struct {
 	kernel *sim.Kernel
@@ -128,11 +146,17 @@ type Medium struct {
 	radios []*Radio
 	active []*transmission
 
+	// burst, when non-nil, is the active Gilbert–Elliott fault state
+	// (internal/faults installs it). burstBad is the current chain state.
+	burst    *BurstLoss
+	burstBad bool
+
 	// Stats.
 	Transmissions uint64
 	Deliveries    uint64
 	SNRDrops      uint64
 	Collisions    uint64
+	BurstDrops    uint64
 }
 
 type transmission struct {
@@ -150,6 +174,43 @@ type transmission struct {
 func NewMedium(k *sim.Kernel, cfg Config) *Medium {
 	cfg.fill()
 	return &Medium{kernel: k, cfg: cfg, rng: k.RNG().Fork()}
+}
+
+// SetBurstLoss installs (or, with nil, clears) the Gilbert–Elliott burst
+// model. Enabling resets the chain to the Good state, so a run's loss
+// pattern is a pure function of the seed and the schedule. The chain only
+// draws from the RNG while installed: a medium without a burst model has an
+// identical random stream to one that never heard of it.
+func (m *Medium) SetBurstLoss(b *BurstLoss) {
+	m.burst = b
+	m.burstBad = false
+}
+
+// BurstBad reports whether the burst-loss chain is currently in the Bad
+// state (false when no model is installed).
+func (m *Medium) BurstBad() bool { return m.burst != nil && m.burstBad }
+
+// burstHit steps the Gilbert–Elliott chain once and reports whether the
+// current transmission is wiped by the burst condition. Channel-wide: a
+// burst is interference every receiver hears, so one draw decides the frame
+// for all of them.
+func (m *Medium) burstHit() bool {
+	b := m.burst
+	if b == nil {
+		return false
+	}
+	if m.burstBad {
+		if m.rng.Bool(b.PBadToGood) {
+			m.burstBad = false
+		}
+	} else if m.rng.Bool(b.PGoodToBad) {
+		m.burstBad = true
+	}
+	loss := b.GoodLoss
+	if m.burstBad {
+		loss = b.BadLoss
+	}
+	return m.rng.Bool(loss)
 }
 
 // pathLossDB returns the propagation loss between two positions.
@@ -212,9 +273,12 @@ type Radio struct {
 	txPower  float64 // dBm
 	recv     Receiver
 	sendBusy sim.Time // our own tx serialisation
+	// down radios neither transmit nor receive — the link-flap fault.
+	down bool
 
 	// Counters.
 	TxFrames, RxFrames, RxCollisions, RxBelowSNR uint64
+	TxWhileDown                                  uint64
 }
 
 // RadioConfig configures a new radio.
@@ -261,6 +325,15 @@ func (r *Radio) SetChannel(c Channel) {
 	r.channel = c
 }
 
+// SetDown takes the radio off the air (link-flap fault) or brings it back.
+// A down radio's transmissions vanish silently and it hears nothing — from
+// the protocol's point of view the hardware momentarily died, which is
+// precisely what the self-healing logic above it must survive.
+func (r *Radio) SetDown(down bool) { r.down = down }
+
+// Down reports whether the radio is administratively down.
+func (r *Radio) Down() bool { return r.down }
+
 // TxPowerDBm reports the transmit power.
 func (r *Radio) TxPowerDBm() float64 { return r.txPower }
 
@@ -274,6 +347,9 @@ func (r *Radio) SetReceiver(recv Receiver) { r.recv = recv }
 
 // CarrierBusy reports whether the radio senses energy on its channel.
 func (r *Radio) CarrierBusy() bool {
+	if r.down {
+		return false // a dead radio senses nothing
+	}
 	now := r.medium.kernel.Now()
 	for _, t := range r.medium.active {
 		if t.end <= now || t.start > now || t.src == r {
@@ -297,6 +373,12 @@ func (r *Radio) CarrierBusy() bool {
 func (r *Radio) Send(data []byte, rate Rate) sim.Time {
 	m := r.medium
 	now := m.kernel.Now()
+	if r.down {
+		// The frame leaves the MAC and dies in the dead hardware; report
+		// the airtime it would have taken so senders' pacing still works.
+		r.TxWhileDown++
+		return now + Airtime(len(data), rate)
+	}
 	start := now
 	if r.sendBusy > start {
 		start = r.sendBusy
@@ -334,8 +416,13 @@ func (m *Medium) complete(tx *transmission, rate Rate, air sim.Time) {
 	}
 	m.active = kept
 
+	if m.burstHit() {
+		m.BurstDrops++
+		return
+	}
+
 	for _, rx := range m.radios {
-		if rx == tx.src {
+		if rx == tx.src || rx.down {
 			continue
 		}
 		rej := channelRejectionDB(tx.channel, rx.channel)

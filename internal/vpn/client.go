@@ -31,6 +31,19 @@ type ClientConfig struct {
 	SplitTunnelPrefixes []inet.Prefix
 	// HandshakeTimeout defaults to 10 s.
 	HandshakeTimeout sim.Time
+
+	// Keepalive enables dead-peer detection: every Keepalive the client
+	// sends a sealed liveness probe, and if nothing authenticated arrives
+	// for PeerTimeout it declares the peer dead and re-handshakes with
+	// exponential backoff (fresh nonces, fresh keys). Zero disables the
+	// whole mechanism, which is the default — a client without keepalives
+	// behaves exactly as before.
+	Keepalive sim.Time
+	// PeerTimeout is the silence threshold (default 3×Keepalive).
+	PeerTimeout sim.Time
+	// ReconnectBackoffBase/Max bound the redial ladder (defaults 1 s / 30 s).
+	ReconnectBackoffBase sim.Time
+	ReconnectBackoffMax  sim.Time
 }
 
 func (c *ClientConfig) fill() {
@@ -39,6 +52,17 @@ func (c *ClientConfig) fill() {
 	}
 	if c.HandshakeTimeout == 0 {
 		c.HandshakeTimeout = 10 * sim.Second
+	}
+	if c.Keepalive > 0 {
+		if c.PeerTimeout == 0 {
+			c.PeerTimeout = 3 * c.Keepalive
+		}
+		if c.ReconnectBackoffBase == 0 {
+			c.ReconnectBackoffBase = sim.Second
+		}
+		if c.ReconnectBackoffMax == 0 {
+			c.ReconnectBackoffMax = 30 * sim.Second
+		}
 	}
 }
 
@@ -71,13 +95,32 @@ type Client struct {
 	abort    func()
 	timeout  *sim.Event
 
-	// OnUp fires when the tunnel is established (with the assigned IP).
+	// Self-healing state (only active when cfg.Keepalive > 0).
+	lastRx     sim.Time
+	kaTimer    *sim.Event
+	rng        *sim.RNG
+	healing    bool
+	reconnectN int
+	hsGen      int
+	carrierGen int
+	redial     func()
+
+	// OnUp fires when the tunnel is established (with the assigned IP),
+	// including again after every successful rekey.
 	OnUp func(ip inet.Addr)
-	// OnDown fires when the tunnel fails or is rejected.
+	// OnDown fires when the tunnel fails terminally. Self-healing
+	// reconnects do not fire it — the client is still trying.
 	OnDown func(err error)
 
 	// Counters.
 	PacketsIn, PacketsOut uint64
+	// KeepalivesSent counts probes; PeerTimeouts counts dead-peer
+	// declarations; Reconnects counts redial attempts; Rekeys counts
+	// handshakes completed after the first.
+	KeepalivesSent uint64
+	PeerTimeouts   uint64
+	Reconnects     uint64
+	Rekeys         uint64
 }
 
 // ErrServerAuth means the endpoint failed mutual authentication — exactly
@@ -102,28 +145,72 @@ func (c *Client) TunnelIP() inet.Addr { return c.tunnelIP }
 // Up reports whether the tunnel is established.
 func (c *Client) Up() bool { return c.state == stateUp }
 
+// Healing reports whether the client has declared its peer dead and is
+// between reconnect attempts.
+func (c *Client) Healing() bool { return c.healing }
+
 // ConnectTCP brings the tunnel up over a TCP carrier (the paper's
 // PPP-over-SSH arrangement).
 func ConnectTCP(ip *ipv4.Stack, t *tcp.Stack, cfg ClientConfig) (*Client, error) {
 	cfg.fill()
 	c := &Client{cfg: cfg, ip: ip, state: stateIdle}
+	var cur *tcp.Conn
+	attach := func(conn *tcp.Conn) {
+		cur = conn
+		c.carrierGen++
+		gen := c.carrierGen
+		c.sendMsg = func(msg []byte) { _ = conn.Write(msg) }
+		c.abort = conn.Abort
+		conn.OnConnect = func() { c.begin() }
+		conn.OnData = func(b []byte) {
+			if gen != c.carrierGen {
+				return // late bytes from a replaced carrier
+			}
+			for _, m := range c.stream.push(b) {
+				c.handleMsg(m)
+			}
+		}
+		conn.OnClose = func(err error) {
+			if gen != c.carrierGen {
+				return
+			}
+			switch {
+			case c.state == stateUp && c.cfg.Keepalive > 0:
+				// The carrier died under an established tunnel: no need to
+				// wait out PeerTimeout, the peer is already known dead.
+				c.peerDead()
+			case c.state != stateUp && c.state != stateDown:
+				if c.healing {
+					c.state = stateIdle
+					c.scheduleReconnect()
+				} else {
+					c.fail(fmt.Errorf("vpn: carrier closed during handshake: %w", errOr(err)))
+				}
+			}
+		}
+	}
+	c.redial = func() {
+		// Orphan the dead carrier before killing it so its OnClose (stale
+		// generation) cannot re-enter the reconnect machinery.
+		c.carrierGen++
+		if cur != nil {
+			cur.Abort()
+			cur = nil
+		}
+		c.stream = frameStream{} // drop half-parsed bytes from the dead carrier
+		conn, err := t.Dial(cfg.Server)
+		if err != nil {
+			c.scheduleReconnect()
+			return
+		}
+		attach(conn)
+		c.armTimeout()
+	}
 	conn, err := t.Dial(cfg.Server)
 	if err != nil {
 		return nil, err
 	}
-	c.sendMsg = func(msg []byte) { _ = conn.Write(msg) }
-	c.abort = conn.Abort
-	conn.OnConnect = func() { c.begin() }
-	conn.OnData = func(b []byte) {
-		for _, m := range c.stream.push(b) {
-			c.handleMsg(m)
-		}
-	}
-	conn.OnClose = func(err error) {
-		if c.state != stateUp && c.state != stateDown {
-			c.fail(fmt.Errorf("vpn: carrier closed during handshake: %w", errOr(err)))
-		}
-	}
+	attach(conn)
 	c.armTimeout()
 	return c, nil
 }
@@ -149,18 +236,32 @@ func ConnectUDP(ip *ipv4.Stack, u *udp.Stack, cfg ClientConfig) (*Client, error)
 		c.handleMsg(payload)
 	})
 	// UDP handshake retries: resend the last handshake message each second
-	// until the tunnel is up.
-	var retry func(n int)
-	retry = func(n int) {
-		if c.state == stateUp || c.state == stateDown || n > 8 {
-			return
+	// until the tunnel is up. Each redial starts a fresh generation of the
+	// loop; the old one sees the bumped hsGen and dies.
+	start := func() {
+		gen := c.hsGen
+		var retry func(n int)
+		retry = func(n int) {
+			if gen != c.hsGen || c.state == stateUp || c.state == stateDown || n > 8 {
+				return
+			}
+			if lastMsg != nil {
+				_ = sock.SendTo(cfg.Server, lastMsg[2:])
+			}
+			ip.Kernel().After(sim.Second, func() { retry(n + 1) })
 		}
-		if lastMsg != nil {
-			_ = sock.SendTo(cfg.Server, lastMsg[2:])
-		}
-		ip.Kernel().After(sim.Second, func() { retry(n + 1) })
+		ip.Kernel().After(sim.Second, func() { retry(0) })
 	}
-	ip.Kernel().After(sim.Second, func() { retry(0) })
+	c.redial = func() {
+		c.hsGen++
+		c.begin()
+		c.armTimeout()
+		start()
+	}
+	// Initial connect. The ordering (retry armed, then hello, then timeout)
+	// is load-bearing: it fixes event sequence numbers, so rearranging it
+	// would shift every UDP-carrier scenario digest.
+	start()
 	c.begin()
 	c.armTimeout()
 	return c, nil
@@ -175,9 +276,16 @@ func errOr(err error) error {
 
 func (c *Client) armTimeout() {
 	c.timeout = c.ip.Kernel().After(c.cfg.HandshakeTimeout, func() {
-		if c.state != stateUp {
-			c.fail(ErrHandshakeTimeout)
+		if c.state == stateUp {
+			return
 		}
+		if c.healing {
+			// A failed re-handshake is not terminal — back off and retry.
+			c.state = stateIdle
+			c.scheduleReconnect()
+			return
+		}
+		c.fail(ErrHandshakeTimeout)
 	})
 }
 
@@ -195,6 +303,9 @@ func (c *Client) fail(err error) {
 	c.state = stateDown
 	if c.timeout != nil {
 		c.timeout.Cancel()
+	}
+	if c.kaTimer != nil {
+		c.kaTimer.Cancel()
 	}
 	if c.abort != nil {
 		c.abort()
@@ -226,6 +337,7 @@ func (c *Client) handleMsg(msg []byte) {
 		c.seal = newSealer(keys.encC2S, keys.macC2S[:])
 		c.open = newOpener(keys.encS2C, keys.macS2C[:])
 		c.state = stateAuth
+		c.lastRx = c.ip.Kernel().Now()
 		c.sendMsg(frame(msgClientAuth, authTag(c.cfg.PSK, "client", c.nonceC, nonceS)))
 	case msgAssignIP:
 		if c.state != stateAuth {
@@ -238,6 +350,7 @@ func (c *Client) handleMsg(msg []byte) {
 		var ip inet.Addr
 		copy(ip[:], plain[:4])
 		c.tunnelIP = ip
+		c.lastRx = c.ip.Kernel().Now()
 		bits := int(plain[4])
 		mask := inet.Prefix{Bits: bits}.Mask().Uint32()
 		c.bringUp(inet.Prefix{Addr: inet.AddrFromUint32(ip.Uint32() & mask), Bits: bits})
@@ -250,41 +363,139 @@ func (c *Client) handleMsg(msg []byte) {
 			return
 		}
 		c.PacketsIn++
+		c.lastRx = c.ip.Kernel().Now()
 		c.tun.deliver(inner)
+	case msgKeepalive:
+		if c.state != stateUp || c.open == nil {
+			return
+		}
+		if _, err := c.open.open(body); err != nil {
+			return
+		}
+		c.lastRx = c.ip.Kernel().Now()
 	}
 }
 
-// bringUp creates the tun device and installs the all-traffic routes.
+// bringUp creates the tun device and installs the all-traffic routes. On a
+// rekey the device, routes and (normally) the address already exist, so it
+// only flips the state back to up.
 func (c *Client) bringUp(prefix inet.Prefix) {
 	if c.timeout != nil {
 		c.timeout.Cancel()
 	}
-	c.tun = newTunNIC(ethernet.MAC{0x02, 0xf0, 0x0d, 0x00, 0x02, 0x00}, func(ipPacket []byte) {
-		c.PacketsOut++
-		c.sendMsg(frame(msgData, c.seal.seal(ipPacket)))
-	})
-	c.ip.AddIface(c.cfg.IfaceName, c.tun, c.tunnelIP, prefix)
-
-	// Pin the carrier's path to the physical network first, then steer
-	// everything else into the tunnel.
-	if r, ok := c.ip.LookupRoute(c.cfg.Server.Addr); ok && r.Iface != c.cfg.IfaceName {
-		c.ip.AddRoute(ipv4.Route{
-			Prefix:  inet.Prefix{Addr: c.cfg.Server.Addr, Bits: 32},
-			Gateway: r.Gateway, Iface: r.Iface,
+	if c.tun == nil {
+		c.tun = newTunNIC(ethernet.MAC{0x02, 0xf0, 0x0d, 0x00, 0x02, 0x00}, func(ipPacket []byte) {
+			c.PacketsOut++
+			c.sendMsg(frame(msgData, c.seal.seal(ipPacket)))
 		})
-	}
-	if len(c.cfg.SplitTunnelPrefixes) == 0 {
-		// Full tunnel, OpenVPN redirect-gateway style: two /1 routes beat
-		// any default route without touching it.
-		c.ip.AddRoute(ipv4.Route{Prefix: inet.MustParsePrefix("0.0.0.0/1"), Iface: c.cfg.IfaceName})
-		c.ip.AddRoute(ipv4.Route{Prefix: inet.MustParsePrefix("128.0.0.0/1"), Iface: c.cfg.IfaceName})
-	} else {
-		for _, p := range c.cfg.SplitTunnelPrefixes {
-			c.ip.AddRoute(ipv4.Route{Prefix: p, Iface: c.cfg.IfaceName})
+		c.ip.AddIface(c.cfg.IfaceName, c.tun, c.tunnelIP, prefix)
+
+		// Pin the carrier's path to the physical network first, then steer
+		// everything else into the tunnel.
+		if r, ok := c.ip.LookupRoute(c.cfg.Server.Addr); ok && r.Iface != c.cfg.IfaceName {
+			c.ip.AddRoute(ipv4.Route{
+				Prefix:  inet.Prefix{Addr: c.cfg.Server.Addr, Bits: 32},
+				Gateway: r.Gateway, Iface: r.Iface,
+			})
 		}
+		if len(c.cfg.SplitTunnelPrefixes) == 0 {
+			// Full tunnel, OpenVPN redirect-gateway style: two /1 routes beat
+			// any default route without touching it.
+			c.ip.AddRoute(ipv4.Route{Prefix: inet.MustParsePrefix("0.0.0.0/1"), Iface: c.cfg.IfaceName})
+			c.ip.AddRoute(ipv4.Route{Prefix: inet.MustParsePrefix("128.0.0.0/1"), Iface: c.cfg.IfaceName})
+		} else {
+			for _, p := range c.cfg.SplitTunnelPrefixes {
+				c.ip.AddRoute(ipv4.Route{Prefix: p, Iface: c.cfg.IfaceName})
+			}
+		}
+	} else if ifc := c.ip.Iface(c.cfg.IfaceName); ifc != nil && ifc.Addr != c.tunnelIP {
+		// The server handed out a different address (a carrier reconnect
+		// built a fresh server-side session): move the interface.
+		ifc.Addr = c.tunnelIP
 	}
 	c.state = stateUp
+	if c.healing {
+		c.healing = false
+		c.Rekeys++
+	}
+	c.reconnectN = 0
+	c.startKeepalive()
 	if c.OnUp != nil {
 		c.OnUp(c.tunnelIP)
 	}
+}
+
+// startKeepalive arms the dead-peer-detection loop. The RNG fork is lazy so
+// clients without keepalives never draw from the kernel RNG and existing
+// scenario digests are untouched.
+func (c *Client) startKeepalive() {
+	if c.cfg.Keepalive <= 0 {
+		return
+	}
+	if c.rng == nil {
+		c.rng = c.ip.Kernel().RNG().Fork()
+	}
+	if c.kaTimer != nil {
+		c.kaTimer.Cancel()
+	}
+	c.lastRx = c.ip.Kernel().Now()
+	c.kaTick()
+}
+
+// kaTick sends one probe per interval and declares the peer dead after
+// PeerTimeout of authenticated silence.
+func (c *Client) kaTick() {
+	c.kaTimer = c.ip.Kernel().After(c.cfg.Keepalive, func() {
+		if c.state != stateUp {
+			return
+		}
+		if c.ip.Kernel().Now()-c.lastRx > c.cfg.PeerTimeout {
+			c.peerDead()
+			return
+		}
+		c.KeepalivesSent++
+		c.sendMsg(frame(msgKeepalive, c.seal.seal(nil)))
+		c.kaTick()
+	})
+}
+
+// peerDead transitions an up tunnel into the self-healing loop.
+func (c *Client) peerDead() {
+	c.PeerTimeouts++
+	c.healing = true
+	c.state = stateIdle
+	if c.kaTimer != nil {
+		c.kaTimer.Cancel()
+	}
+	c.scheduleReconnect()
+}
+
+// scheduleReconnect arms the next redial on the exponential ladder:
+// base·2ⁿ capped at max, plus seeded jitter so a fleet of clients does not
+// thunder back in lockstep.
+func (c *Client) scheduleReconnect() {
+	if c.state == stateDown {
+		return
+	}
+	if c.rng == nil {
+		c.rng = c.ip.Kernel().RNG().Fork()
+	}
+	d := c.cfg.ReconnectBackoffBase
+	for i := 0; i < c.reconnectN && d < c.cfg.ReconnectBackoffMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.ReconnectBackoffMax {
+		d = c.cfg.ReconnectBackoffMax
+	}
+	if c.reconnectN < 20 {
+		c.reconnectN++
+	}
+	d += c.rng.Jitter(c.cfg.ReconnectBackoffBase / 2)
+	c.ip.Kernel().After(d, func() {
+		if c.state != stateIdle {
+			return
+		}
+		c.Reconnects++
+		c.redial()
+	})
 }

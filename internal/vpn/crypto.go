@@ -41,6 +41,10 @@ const (
 	msgClientAuth  byte = 3
 	msgAssignIP    byte = 4
 	msgData        byte = 5
+	// msgKeepalive carries a sealed empty record in either direction: the
+	// client probes liveness, the server echoes. Sealing (rather than a bare
+	// ping) means a rogue on the path cannot forge "the peer is alive".
+	msgKeepalive byte = 6
 )
 
 // nonceLen is the handshake nonce size.

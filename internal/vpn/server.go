@@ -86,6 +86,10 @@ type Server struct {
 	PacketsIn      uint64
 	PacketsOut     uint64
 	NoSessionDrops uint64
+	// Keepalives counts authenticated liveness probes answered; Rekeys counts
+	// handshakes that replaced the keys of an already-authenticated session.
+	Keepalives uint64
+	Rekeys     uint64
 }
 
 // serverTunIP is the server's own address inside the tunnel subnet.
@@ -155,8 +159,14 @@ func (s *Server) handleMsg(sess *session, msg []byte) {
 		}
 		// Idempotent per client nonce: a retransmitted hello (UDP carrier
 		// retry) must get the SAME server nonce, or an in-flight client
-		// auth would verify against the wrong transcript.
+		// auth would verify against the wrong transcript. A DIFFERENT nonce
+		// is a client-initiated rekey: the old transcript (and its record
+		// keys) dies here, and the full auth must run again.
 		if sess.nonceS == nil || !bytes.Equal(sess.nonceC, body) {
+			if sess.authed {
+				sess.authed = false
+				s.Rekeys++
+			}
 			sess.nonceC = append([]byte(nil), body...)
 			sess.nonceS = make([]byte, nonceLen)
 			s.ip.Kernel().RNG().Bytes(sess.nonceS)
@@ -185,13 +195,19 @@ func (s *Server) handleMsg(sess *session, msg []byte) {
 		keys := deriveKeys(s.cfg.PSK, sess.nonceC, sess.nonceS)
 		sess.seal = newSealer(keys.encS2C, keys.macS2C[:])
 		sess.open = newOpener(keys.encC2S, keys.macC2S[:])
-		ip, err := s.allocIP()
-		if err != nil {
-			return
+		// A rekeying session keeps its reserved tunnel address so the
+		// client's routes and inner connections survive the key change.
+		ip := sess.tunnelIP
+		if ip == (inet.Addr{}) {
+			var err error
+			ip, err = s.allocIP()
+			if err != nil {
+				return
+			}
+			sess.tunnelIP = ip
+			s.sessions[ip] = sess
 		}
-		sess.tunnelIP = ip
 		sess.authed = true
-		s.sessions[ip] = sess
 		s.Handshakes++
 		assign := make([]byte, 5)
 		copy(assign[:4], ip[:])
@@ -207,6 +223,15 @@ func (s *Server) handleMsg(sess *session, msg []byte) {
 		}
 		s.PacketsIn++
 		s.tun.deliver(inner)
+	case msgKeepalive:
+		if !sess.authed {
+			return
+		}
+		if _, err := sess.open.open(body); err != nil {
+			return // forged or stale probe; counted in opener
+		}
+		s.Keepalives++
+		sess.send(frame(msgKeepalive, sess.seal.seal(nil)))
 	}
 }
 
