@@ -1,0 +1,64 @@
+// Command simvet runs the repository's determinism-and-safety analyzer suite
+// (internal/analysis) over Go package patterns:
+//
+//	go run ./cmd/simvet ./...
+//
+// It exits 0 when the tree is clean, 1 when any analyzer reports a
+// diagnostic, and 2 on a driver failure (bad pattern, packages that do not
+// typecheck). //simvet:allow suppressions are never silent: each one is
+// surfaced as a note on stderr together with its mandatory reason.
+//
+// The suite and the contract it enforces are documented in DESIGN.md §8.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	simvet "repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	quiet := flag.Bool("q", false, "suppress the //simvet:allow notes and the summary line")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simvet [-list] [-q] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the determinism contract analyzers (DESIGN.md §8) over the\ngiven package patterns (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := simvet.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	res, err := driver.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range res.Diagnostics {
+		fmt.Printf("%s\n", d)
+	}
+	if !*quiet {
+		for _, s := range res.Suppressions {
+			fmt.Fprintf(os.Stderr, "simvet: note: %s: suppressed %s diagnostic (reason: %s)\n", s.Pos, s.Analyzer, s.Reason)
+		}
+		fmt.Fprintf(os.Stderr, "simvet: %d package(s), %d diagnostic(s), %d suppression(s)\n",
+			res.Packages, len(res.Diagnostics), len(res.Suppressions))
+	}
+	if len(res.Diagnostics) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"reflect"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// allowPrefix is the suppression directive marker. The full grammar is
+//
+//	//simvet:allow <analyzer> <reason…>
+//
+// attached either to the offending line or to the line immediately above it.
+// The reason is mandatory; reasonless directives are rejected (they suppress
+// nothing) and reported by AllowAnalyzer.
+const allowPrefix = "//simvet:allow"
+
+// directive is one parsed //simvet:allow comment.
+type directive struct {
+	pos      token.Pos
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+// parseDirectives scans every comment in the pass for //simvet:allow
+// directives. Malformed directives (no analyzer name, no reason, unknown
+// analyzer) are still returned; validation policy belongs to the callers.
+func parseDirectives(pass *analysis.Pass) []directive {
+	var out []directive
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //simvet:allowlist — not our directive
+				}
+				fields := strings.Fields(rest)
+				d := directive{pos: c.Pos()}
+				p := pass.Fset.Position(c.Pos())
+				d.file, d.line = p.Filename, p.Line
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// Suppression records one diagnostic silenced by a //simvet:allow directive.
+// Drivers surface these as notes so suppressions are never invisible.
+type Suppression struct {
+	Pos      token.Position // location of the suppressed diagnostic
+	Analyzer string
+	Reason   string
+	Message  string // the diagnostic text that was silenced
+}
+
+// Suppressions is the ResultType of every simvet rule analyzer.
+type Suppressions struct {
+	List []Suppression
+}
+
+// suppressionsType is shared by all rule analyzers so drivers can collect
+// suppression notes uniformly.
+var suppressionsType = reflect.TypeOf((*Suppressions)(nil))
+
+type fileLine struct {
+	file string
+	line int
+}
+
+// reporter filters an analyzer's diagnostics through the //simvet:allow
+// directives of the package under analysis. Only well-formed directives
+// (known analyzer + non-empty reason) suppress; everything else passes
+// through untouched and is flagged separately by AllowAnalyzer.
+type reporter struct {
+	pass *analysis.Pass
+	sup  *Suppressions
+	// eligible maps a (file, line) a diagnostic may land on to the directive
+	// covering it: a directive covers its own line and the line below it.
+	eligible map[fileLine]*directiveUse
+	all      []*directiveUse
+}
+
+type directiveUse struct {
+	d    directive
+	used bool
+}
+
+// newReporter collects this analyzer's well-formed directives from the pass.
+func newReporter(pass *analysis.Pass) *reporter {
+	r := &reporter{pass: pass, sup: &Suppressions{}, eligible: make(map[fileLine]*directiveUse)}
+	for _, d := range parseDirectives(pass) {
+		if d.analyzer != pass.Analyzer.Name || d.reason == "" {
+			continue
+		}
+		du := &directiveUse{d: d}
+		r.all = append(r.all, du)
+		r.eligible[fileLine{d.file, d.line}] = du
+		r.eligible[fileLine{d.file, d.line + 1}] = du
+	}
+	return r
+}
+
+// reportf emits a diagnostic at rng unless a //simvet:allow directive for
+// this analyzer covers the line, in which case the diagnostic is recorded as
+// a Suppression instead.
+func (r *reporter) reportf(rng analysis.Range, format string, args ...any) {
+	pos := r.pass.Fset.Position(rng.Pos())
+	if du, ok := r.eligible[fileLine{pos.Filename, pos.Line}]; ok {
+		du.used = true
+		msg := fmt.Sprintf(format, args...)
+		r.sup.List = append(r.sup.List, Suppression{
+			Pos:      pos,
+			Analyzer: r.pass.Analyzer.Name,
+			Reason:   du.d.reason,
+			Message:  msg,
+		})
+		return
+	}
+	r.pass.ReportRangef(rng, format, args...)
+}
+
+// finish flags stale directives — well-formed allows that silenced nothing —
+// and returns the suppression record for the driver. Stale allows are bugs:
+// they advertise a violation that no longer exists and would hide a future
+// regression on that line.
+func (r *reporter) finish() *Suppressions {
+	for _, du := range r.all {
+		if !du.used {
+			r.pass.Reportf(du.d.pos, "stale //simvet:allow %s directive: it suppresses no diagnostic; delete it", du.d.analyzer)
+		}
+	}
+	return r.sup
+}
+
+// AllowAnalyzer validates //simvet:allow directive hygiene package-wide:
+// every directive must name a known analyzer and carry a reason. It emits no
+// suppressions itself and cannot be suppressed.
+var AllowAnalyzer = &analysis.Analyzer{
+	Name: "simvetallow",
+	Doc:  "check that every //simvet:allow directive names a known analyzer and carries a mandatory reason",
+	Run: func(pass *analysis.Pass) (any, error) {
+		known := ruleNames()
+		for _, d := range parseDirectives(pass) {
+			switch {
+			case d.analyzer == "":
+				pass.Reportf(d.pos, "//simvet:allow needs an analyzer and a reason: //simvet:allow <analyzer> <reason>")
+			case !known[d.analyzer]:
+				pass.Reportf(d.pos, "//simvet:allow names unknown analyzer %q (known: %s)", d.analyzer, strings.Join(knownNames(known), ", "))
+			case d.reason == "":
+				pass.Reportf(d.pos, "//simvet:allow %s is missing its mandatory reason; the violation stays reported until one is given", d.analyzer)
+			}
+		}
+		return nil, nil
+	},
+}
+
+func knownNames(m map[string]bool) []string {
+	names := make([]string, 0, len(m))
+	for _, a := range Rules() {
+		if m[a.Name] {
+			names = append(names, a.Name)
+		}
+	}
+	return names
+}

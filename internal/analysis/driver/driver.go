@@ -1,0 +1,366 @@
+// Package driver loads and typechecks Go packages from source and runs
+// go/analysis analyzers over them.
+//
+// The upstream multichecker drives analyzers through go/packages, which this
+// repository deliberately does not depend on (the module vendors only the
+// tiny go/analysis core). Instead the driver shells out to `go list -e -json
+// -deps` once for package metadata, then parses and typechecks every package
+// — including the standard-library closure — from source in dependency
+// order. That is slower than reading export data but needs nothing beyond
+// the go toolchain itself, and simvet's whole-repo run stays well under CI
+// noise level.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	simvet "repro/internal/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the driver consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	// ImportMap maps source-literal import paths to resolved package paths
+	// (std-vendored deps, e.g. golang.org/x/net/... → vendor/golang.org/...).
+	ImportMap map[string]string
+	Error     *struct{ Err string }
+}
+
+// Diagnostic is one analyzer finding, position-resolved.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Result is the outcome of a Run over a set of packages.
+type Result struct {
+	Diagnostics  []Diagnostic
+	Suppressions []simvet.Suppression
+	Packages     int // packages analyzed (not counting dependencies)
+}
+
+// pkgData is everything the loader retains about one typechecked package.
+// Syntax and type info are kept only for packages marked wantInfo (the
+// analysis targets); dependencies keep just the *types.Package.
+type pkgData struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// Loader incrementally typechecks packages from source into a shared
+// FileSet, memoizing by import path. Each package is typechecked exactly
+// once, so type identities stay consistent across the whole universe.
+type Loader struct {
+	Dir      string // directory the go tool runs in
+	Fset     *token.FileSet
+	data     map[string]*pkgData
+	meta     map[string]*listPkg
+	wantInfo map[string]bool
+}
+
+// NewLoader returns a loader rooted at dir (any directory inside a module).
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:      dir,
+		Fset:     token.NewFileSet(),
+		data:     make(map[string]*pkgData),
+		meta:     make(map[string]*listPkg),
+		wantInfo: make(map[string]bool),
+	}
+}
+
+// list runs `go list -e -json -deps` for patterns and records metadata for
+// every package in the transitive closure.
+func (l *Loader) list(patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var loaded []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if _, ok := l.meta[p.ImportPath]; !ok {
+			l.meta[p.ImportPath] = p
+		}
+		loaded = append(loaded, p)
+	}
+	return loaded, nil
+}
+
+// LoadTypes ensures every package matched by patterns (and the transitive
+// dependency closure) has been typechecked, and returns the matched
+// (non-DepOnly) metadata in stable order. Packages already typechecked keep
+// their identities; new ones join the same universe.
+func (l *Loader) LoadTypes(patterns []string) ([]*listPkg, error) {
+	loaded, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var targets []*listPkg
+	for _, p := range loaded {
+		if _, err := l.typesFor(p.ImportPath); err != nil {
+			return nil, err
+		}
+		if !p.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	return targets, nil
+}
+
+// typesFor typechecks the package (memoized, exactly once), recursing into
+// imports first. Packages marked wantInfo before the first load keep their
+// syntax trees and full type information for analysis.
+func (l *Loader) typesFor(path string) (*pkgData, error) {
+	if path == "unsafe" {
+		return &pkgData{pkg: types.Unsafe}, nil
+	}
+	if d, ok := l.data[path]; ok {
+		return d, nil
+	}
+	meta := l.meta[path]
+	if meta == nil {
+		return nil, fmt.Errorf("driver: no metadata for %q", path)
+	}
+	// Dependencies first (identity-mapped and vendor-remapped alike).
+	for _, imp := range meta.Imports {
+		if imp == "unsafe" || imp == "C" {
+			continue
+		}
+		if _, err := l.typesFor(imp); err != nil {
+			return nil, err
+		}
+	}
+
+	var info *types.Info
+	mode := parser.SkipObjectResolution
+	if l.wantInfo[path] {
+		mode |= parser.ParseComments
+		info = newInfo()
+	}
+	files := make([]*ast.File, 0, len(meta.GoFiles))
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(meta.Dir, name), nil, mode)
+		if err != nil {
+			return nil, fmt.Errorf("driver: parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+
+	var typeErrs []error
+	conf := &types.Config{
+		Importer:    &pkgImporter{loader: l, importMap: meta.ImportMap},
+		Sizes:       types.SizesFor("gc", runtime.GOARCH),
+		FakeImportC: true,
+		Error:       func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("driver: typechecking %s: %v (and %d more)", path, typeErrs[0], len(typeErrs)-1)
+	}
+	d := &pkgData{pkg: tpkg, files: files, info: info}
+	l.data[path] = d
+	return d, nil
+}
+
+// pkgImporter resolves the literal import strings of one package against the
+// loader's typechecked universe, honoring go list's ImportMap.
+type pkgImporter struct {
+	loader    *Loader
+	importMap map[string]string
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := pi.importMap[path]; ok {
+		path = mapped
+	}
+	if d := pi.loader.data[path]; d != nil && d.pkg != nil {
+		return d.pkg, nil
+	}
+	return nil, fmt.Errorf("driver: import %q not loaded", path)
+}
+
+// StdImporter returns an importer that resolves identity-mapped import paths
+// against everything the loader has typechecked so far. The vettest harness
+// uses it to typecheck fixture packages against a preloaded std universe.
+func (l *Loader) StdImporter() types.Importer {
+	return &pkgImporter{loader: l}
+}
+
+// newInfo returns a types.Info with every map populated, as analyzers expect.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run loads the packages matched by patterns in dir, applies the analyzers
+// to each matched (non-dependency) package, and returns position-sorted
+// diagnostics plus the //simvet:allow suppression notes.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) (*Result, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	l := NewLoader(dir)
+	// Two passes over go list: a cheap metadata-only listing to learn which
+	// packages are analysis targets (so they are typechecked with full info
+	// the one time they are typechecked), then the real load.
+	pre, err := l.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pre {
+		if !p.DepOnly {
+			l.wantInfo[p.ImportPath] = true
+		}
+	}
+	targets, err := l.LoadTypes(patterns)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, meta := range targets {
+		if len(meta.GoFiles) == 0 {
+			continue
+		}
+		d, err := l.typesFor(meta.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		diags, sups, err := RunAnalyzers(l.Fset, d.files, d.pkg, d.info, analyzers)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", meta.ImportPath, err)
+		}
+		res.Diagnostics = append(res.Diagnostics, diags...)
+		res.Suppressions = append(res.Suppressions, sups...)
+		res.Packages++
+	}
+	sort.Slice(res.Diagnostics, func(i, j int) bool {
+		a, b := res.Diagnostics[i], res.Diagnostics[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	sort.Slice(res.Suppressions, func(i, j int) bool {
+		a, b := res.Suppressions[i], res.Suppressions[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return res, nil
+}
+
+// RunAnalyzers applies analyzers (resolving Requires dependencies such as the
+// inspect pass) to a single typechecked package. It is the building block
+// shared by Run and by the vettest harness.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) ([]Diagnostic, []simvet.Suppression, error) {
+	results := make(map[*analysis.Analyzer]any)
+	var diags []Diagnostic
+	var sups []simvet.Suppression
+
+	var run func(a *analysis.Analyzer) error
+	running := make(map[*analysis.Analyzer]bool)
+	run = func(a *analysis.Analyzer) error {
+		if _, done := results[a]; done || running[a] {
+			return nil
+		}
+		running[a] = true
+		for _, req := range a.Requires {
+			if err := run(req); err != nil {
+				return err
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf:   make(map[*analysis.Analyzer]any),
+			ReadFile:   os.ReadFile,
+		}
+		for _, req := range a.Requires {
+			pass.ResultOf[req] = results[req]
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, Diagnostic{Pos: fset.Position(d.Pos), Analyzer: name, Message: d.Message})
+		}
+		out, err := a.Run(pass)
+		if err != nil {
+			return fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+		results[a] = out
+		if s, ok := out.(*simvet.Suppressions); ok && s != nil {
+			sups = append(sups, s.List...)
+		}
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := run(a); err != nil {
+			return nil, nil, err
+		}
+	}
+	return diags, sups, nil
+}

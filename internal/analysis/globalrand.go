@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// randConstructors are the math/rand functions that build an explicit,
+// caller-seeded generator. Those are fine when the seed is plumbed from the
+// kernel; it is the implicit process-global source (rand.Intn, rand.Float64,
+// …) that silently couples a run to everything else in the process.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// GlobalrandAnalyzer forbids the global math/rand source and all of
+// crypto/rand in the deterministic core. Every stochastic decision must draw
+// from the kernel-seeded sim.RNG so a run is a pure function of its seed;
+// even the WEP/VPN "crypto" randomness is explicit and seeded (see
+// internal/sim/rng.go).
+var GlobalrandAnalyzer = &analysis.Analyzer{
+	Name:       "globalrand",
+	Doc:        "forbid global math/rand and crypto/rand in deterministic paths; use the kernel-seeded sim.RNG",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: suppressionsType,
+	Run:        runGlobalrand,
+}
+
+func runGlobalrand(pass *analysis.Pass) (any, error) {
+	rep := newReporter(pass)
+	if !deterministicScope(pass.Pkg.Path()) {
+		return rep.finish(), nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.ImportSpec)(nil), (*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ImportSpec:
+			if path, err := strconv.Unquote(n.Path.Value); err == nil && path == "crypto/rand" {
+				rep.reportf(n, "crypto/rand reads host entropy and can never replay; deterministic paths must draw from the kernel RNG (sim.Kernel.RNG)")
+			}
+		case *ast.SelectorExpr:
+			obj := pass.TypesInfo.Uses[n.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return
+			}
+			path := obj.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return
+			}
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() != nil {
+				return // methods on an explicit *rand.Rand are caller-seeded
+			}
+			if randConstructors[obj.Name()] {
+				return
+			}
+			rep.reportf(n, "%s.%s draws from the shared process-global source; plumb the kernel-seeded RNG (sim.Kernel.RNG) instead", path, obj.Name())
+		}
+	})
+	return rep.finish(), nil
+}

@@ -1,0 +1,317 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// MaporderAnalyzer flags `for range` over a map whose body does
+// order-sensitive work: appending to a slice, writing output, mixing the
+// trace digest, scheduling kernel events, or returning a value picked by the
+// iteration. Go randomizes map iteration order per run, so any of those leaks
+// nondeterminism straight into the digest — the exact bug class PR 1 fixed
+// by hand four times (httpx header order, dot11.AssociatedStations,
+// attack.MACHarvester, STA.pickBSS).
+//
+// The one blessed pattern is collect-then-sort: a body that only appends into
+// local slices is exempt when every such slice is sorted afterwards in an
+// enclosing block.
+var MaporderAnalyzer = &analysis.Analyzer{
+	Name:       "maporder",
+	Doc:        "flag order-sensitive work inside for-range over a map without a subsequent sort",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: suppressionsType,
+	Run:        runMaporder,
+}
+
+func runMaporder(pass *analysis.Pass) (any, error) {
+	rep := newReporter(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rng := n.(*ast.RangeStmt)
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		checkMapRange(pass, rep, rng, stack)
+		return true
+	})
+	return rep.finish(), nil
+}
+
+func checkMapRange(pass *analysis.Pass, rep *reporter, rng *ast.RangeStmt, stack []ast.Node) {
+	rangeVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				rangeVars[obj] = true
+			}
+		}
+	}
+
+	// Pass 1: find append calls that land in an assignment, keyed by the
+	// root object of the assignment target.
+	appendTargets := map[types.Object]ast.Node{}
+	appendCalls := map[*ast.CallExpr]bool{}
+	looseAppend := false
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltin(pass, call.Fun, "append") {
+				continue
+			}
+			appendCalls[call] = true
+			if i < len(as.Lhs) {
+				if obj := rootObject(pass, as.Lhs[i]); obj != nil {
+					if _, seen := appendTargets[obj]; !seen {
+						appendTargets[obj] = as
+					}
+					continue
+				}
+			}
+			looseAppend = true
+		}
+		return true
+	})
+
+	// Pass 2: other order-sensitive triggers.
+	var reason string
+	note := func(r string) {
+		if reason == "" {
+			reason = r
+		}
+	}
+	if looseAppend {
+		note("appends to a slice")
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if appendCalls[n] || isBuiltin(pass, n.Fun, "append") {
+				return true // handled by the collect-then-sort exemption
+			}
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok {
+				return true
+			}
+			sig := fn.Type().(*types.Signature)
+			switch {
+			case sig.Recv() == nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" &&
+				(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")):
+				note(fmt.Sprintf("writes output via fmt.%s", fn.Name()))
+			case sig.Recv() != nil && writeMethods[fn.Name()]:
+				note(fmt.Sprintf("writes output via %s", fn.Name()))
+			case sig.Recv() != nil && fn.Name() == "MixDigest":
+				note("mixes the trace digest")
+			case sig.Recv() != nil && (fn.Name() == "At" || fn.Name() == "After") && recvIsKernel(sig):
+				note("schedules kernel events")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				usesAny := false
+				ast.Inspect(res, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && rangeVars[pass.TypesInfo.ObjectOf(id)] {
+						usesAny = true
+					}
+					return !usesAny
+				})
+				if usesAny {
+					note("returns a value chosen by the iteration")
+					break
+				}
+			}
+		}
+		return true
+	})
+
+	if reason != "" {
+		rep.reportf(rng.X, "range over map %s %s; map iteration order is random — extract the keys, sort them, and iterate the slice", exprString(pass, rng.X), reason)
+		return
+	}
+
+	// Collect-then-sort exemption: every appended slice must be sorted in a
+	// following statement of some enclosing block (up to the function edge).
+	for obj, site := range appendTargets {
+		if !sortedAfter(pass, stack, obj) {
+			rep.reportf(site.(*ast.AssignStmt), "collects from map %s into %q without sorting it afterwards; the slice inherits random map iteration order", exprString(pass, rng.X), obj.Name())
+		}
+	}
+}
+
+// writeMethods are method names that emit bytes somewhere order matters:
+// io.Writer implementations, strings.Builder, bufio.Writer, hash.Hash.
+var writeMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+// recvIsKernel reports whether the method receiver is a named type called
+// Kernel (the sim kernel, or a fixture standing in for it).
+func recvIsKernel(sig *types.Signature) bool {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Kernel"
+}
+
+// isBuiltin reports whether fun denotes the named Go builtin.
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// rootObject unwraps selectors/indexing/stars to the base identifier's object:
+// x, x.f, x[i].f all root at x.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(v)
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// sortedAfter reports whether some statement after the range statement — in
+// its own block or any enclosing block up to the nearest function literal or
+// declaration — sorts the slice rooted at obj.
+func sortedAfter(pass *analysis.Pass, stack []ast.Node, obj types.Object) bool {
+	// stack[len-1] is the RangeStmt; walk outward.
+	child := stack[len(stack)-1]
+	for i := len(stack) - 2; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.BlockStmt:
+			if sortInTail(pass, parent.List, child, obj) {
+				return true
+			}
+		case *ast.CaseClause:
+			if sortInTail(pass, parent.Body, child, obj) {
+				return true
+			}
+		case *ast.CommClause:
+			if sortInTail(pass, parent.Body, child, obj) {
+				return true
+			}
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+		child = stack[i]
+	}
+	return false
+}
+
+// sortInTail scans the statements after child in list for a sort call
+// covering obj.
+func sortInTail(pass *analysis.Pass, list []ast.Stmt, child ast.Node, obj types.Object) bool {
+	idx := -1
+	for i, s := range list {
+		if s == child || unlabel(s) == child {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	for _, s := range list[idx+1:] {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if rootObject(pass, arg) == obj {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func unlabel(s ast.Stmt) ast.Stmt {
+	if l, ok := s.(*ast.LabeledStmt); ok {
+		return l.Stmt
+	}
+	return s
+}
+
+// isSortCall recognizes the sort and slices package entry points.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Strings", "Ints", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}
+
+// exprString renders a short source form of e for diagnostics.
+func exprString(pass *analysis.Pass, e ast.Expr) string {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(pass, v.X) + "." + v.Sel.Name
+	case *ast.CallExpr:
+		return exprString(pass, v.Fun) + "(…)"
+	default:
+		return "value"
+	}
+}

@@ -1,0 +1,15 @@
+// Fixture for the simvetallow directive validator. Expectations live in
+// analysis_test.go rather than // want comments: a line comment cannot carry
+// a second comment, and appending want text to a directive would become part
+// of its reason.
+package allowcheck
+
+import "time"
+
+func f() time.Duration {
+	//simvet:allow walltime
+	//simvet:allow nosuchanalyzer because I said so
+	//simvet:allow
+	//simvet:allow maporder this one is fine and validates cleanly
+	return time.Second
+}

@@ -1,0 +1,70 @@
+// Fixture for the eventcapture analyzer: kernel-event closures must not
+// capture loop variables, and closures scheduled by generation-managed code
+// must carry the generation-guard idiom.
+package eventcapture
+
+type Kernel struct{}
+
+func (k *Kernel) After(d int, fn func()) {}
+func (k *Kernel) At(t int, fn func())    {}
+
+type sta struct {
+	name  string
+	awake bool
+}
+
+func badRangeCapture(k *Kernel, stas []*sta) {
+	for _, s := range stas {
+		k.After(10, func() {
+			_ = s.name // want `kernel-event closure captures loop variable "s"`
+		})
+	}
+}
+
+func badForCapture(k *Kernel, stas []*sta) {
+	for i := 0; i < len(stas); i++ {
+		k.At(10, func() {
+			stas[i].awake = true // want `kernel-event closure captures loop variable "i"`
+		})
+	}
+}
+
+func goodLocalCopy(k *Kernel, stas []*sta) {
+	for _, s := range stas {
+		s := s // pinned to this iteration, visible at the schedule site
+		k.After(10, func() { _ = s.name })
+	}
+}
+
+type client struct {
+	hsGen int
+	state int
+}
+
+func (c *client) badNoGuard(k *Kernel) {
+	c.hsGen++
+	k.After(5, func() { // want `mutates captured state without a generation guard`
+		c.state = 2
+	})
+}
+
+func (c *client) goodGuarded(k *Kernel) {
+	c.hsGen++
+	gen := c.hsGen
+	k.After(5, func() {
+		if gen != c.hsGen {
+			return // a later generation owns this state now
+		}
+		c.state = 2
+	})
+}
+
+func (c *client) goodReadOnly(k *Kernel) {
+	c.hsGen++
+	k.After(5, func() { _ = c.state })
+}
+
+func (c *client) goodNoGenerations(k *Kernel) {
+	// No generation counter in play: plain state mutation is fine.
+	k.After(5, func() { c.state = 3 })
+}

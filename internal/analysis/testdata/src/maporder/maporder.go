@@ -1,0 +1,102 @@
+// Fixture for the maporder analyzer: order-sensitive work inside a map range
+// is a violation unless it is the collect-then-sort idiom.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+type Kernel struct{}
+
+func (k *Kernel) MixDigest(kind string, data []byte) {}
+func (k *Kernel) After(d int, fn func())             {}
+
+func badCollectNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `collects from map m into "keys" without sorting it afterwards`
+	}
+	return keys
+}
+
+func badCollectValues(m map[string][]byte) [][]byte {
+	out := make([][]byte, 0, len(m))
+	for _, b := range m {
+		out = append(out, b) // want `collects from map m into "out" without sorting it afterwards`
+	}
+	return out
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m { // want `range over map m writes output via fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func badDigest(k *Kernel, m map[string][]byte) {
+	for name, b := range m { // want `range over map m mixes the trace digest`
+		k.MixDigest(name, b)
+	}
+}
+
+func badSchedule(k *Kernel, m map[string]int) {
+	for _, d := range m { // want `range over map m schedules kernel events`
+		d := d
+		k.After(d, func() {})
+	}
+}
+
+func badReturn(m map[string]error) error {
+	for name, err := range m { // want `range over map m returns a value chosen by the iteration`
+		if err != nil {
+			return fmt.Errorf("%s failed: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodNestedCollect(ms map[string]map[string]int) []string {
+	var keys []string
+	for _, inner := range ms {
+		for k := range inner {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodBuildMap(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+func goodConstantEarlyExit(m map[string]bool) bool {
+	for _, v := range m {
+		if v {
+			return true // constant result: order-independent
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+// Fixture for the tiebreak analyzer: sorting by a single float key is a
+// violation; a secondary key or a non-float key is fine.
+package tiebreak
+
+import (
+	"cmp"
+	"slices"
+	"sort"
+)
+
+type ap struct {
+	rssi float64
+	loss float32
+	id   int
+}
+
+func badSingleFloat(aps []ap) {
+	sort.Slice(aps, func(i, j int) bool { // want `comparator orders by a single float key`
+		return aps[i].rssi > aps[j].rssi
+	})
+}
+
+func badSingleFloat32Stable(aps []ap) {
+	sort.SliceStable(aps, func(i, j int) bool { // want `comparator orders by a single float key`
+		return aps[i].loss < aps[j].loss
+	})
+}
+
+func badSortFuncCompare(aps []ap) {
+	slices.SortFunc(aps, func(a, b ap) int { // want `comparator orders by a single float key`
+		return cmp.Compare(a.rssi, b.rssi)
+	})
+}
+
+func goodSecondaryKey(aps []ap) {
+	sort.Slice(aps, func(i, j int) bool {
+		if aps[i].rssi != aps[j].rssi {
+			return aps[i].rssi > aps[j].rssi
+		}
+		return aps[i].id < aps[j].id
+	})
+}
+
+func goodIntKey(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func goodStringKey(names []string) {
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+}

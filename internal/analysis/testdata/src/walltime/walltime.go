@@ -1,0 +1,24 @@
+// Fixture for the walltime analyzer: wall-clock reads are violations,
+// time.Duration/time.Time value arithmetic is not.
+package walltime
+
+import "time"
+
+func bad() {
+	_ = time.Now()              // want `time\.Now reads the host wall clock`
+	time.Sleep(time.Second)     // want `time\.Sleep reads the host wall clock`
+	_ = time.Since(time.Time{}) // want `time\.Since reads the host wall clock`
+	<-time.After(time.Second)   // want `time\.After reads the host wall clock`
+	_ = time.Tick(time.Second)  // want `time\.Tick reads the host wall clock`
+	t := time.NewTimer(0)       // want `time\.NewTimer reads the host wall clock`
+	_ = t
+}
+
+func good() {
+	const beacon = 100 * time.Millisecond // durations are pure values
+	var d time.Duration = 5 * time.Second
+	_ = d.Seconds()
+	var at time.Time
+	_ = at.Add(d) // methods on time values never touch the clock
+	_ = time.Duration(42).String()
+}

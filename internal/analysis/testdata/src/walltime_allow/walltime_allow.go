@@ -1,0 +1,25 @@
+// Fixture for //simvet:allow handling under the walltime analyzer:
+// a justified directive suppresses, a reasonless one is rejected (the
+// diagnostic stays), and a directive that suppresses nothing goes stale.
+package walltime_allow
+
+import "time"
+
+func suppressed() {
+	_ = time.Now() //simvet:allow walltime fixture demonstrates a justified suppression
+}
+
+func suppressedLineAbove() {
+	//simvet:allow walltime directive on the line above also counts
+	time.Sleep(time.Second)
+}
+
+func rejectedWithoutReason() {
+	//simvet:allow walltime
+	_ = time.Now() // want `time\.Now reads the host wall clock`
+}
+
+func stale() {
+	//simvet:allow walltime this suppresses nothing anymore // want `stale //simvet:allow walltime directive`
+	_ = time.Duration(0)
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// TiebreakAnalyzer flags sort comparators that order by a single float key.
+// Floats tie (two APs at the same RSSI, two paths with equal loss), and when
+// they do, sort.Slice falls back to the incoming slice order — which, when
+// the slice was built from a map or from RNG-jittered arrivals, is not a
+// function of the seed. E1's 0 dB row flapped run to run for exactly this
+// reason until STA.pickBSS gained a (bssid, channel) secondary key.
+var TiebreakAnalyzer = &analysis.Analyzer{
+	Name:       "tiebreak",
+	Doc:        "flag sort comparators ordering by a single float key with no deterministic secondary key",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: suppressionsType,
+	Run:        runTiebreak,
+}
+
+// sortFuncEntry describes one sort entry point taking a comparator func.
+var sortFuncEntries = map[string]map[string]bool{
+	"sort":   {"Slice": true, "SliceStable": true, "Search": false},
+	"slices": {"SortFunc": true, "SortStableFunc": true},
+}
+
+func runTiebreak(pass *analysis.Pass) (any, error) {
+	rep := newReporter(pass)
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		byPkg, ok := sortFuncEntries[fn.Pkg().Path()]
+		if !ok || !byPkg[fn.Name()] || len(call.Args) < 2 {
+			return
+		}
+		cmp, ok := call.Args[len(call.Args)-1].(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		if expr := singleFloatCompare(pass, cmp); expr != nil {
+			rep.reportf(cmp, "%s.%s comparator orders by a single float key; equal values fall back to slice order, which is not seed-deterministic — add a secondary key (cf. dot11 pickBSS RSSI tie, DESIGN.md §8)", fn.Pkg().Name(), fn.Name())
+		}
+	})
+	return rep.finish(), nil
+}
+
+// singleFloatCompare reports whether the comparator body is exactly one
+// `return a <op> b` whose operands are float-typed, with no secondary
+// comparison anywhere. It returns the comparison expression, or nil.
+func singleFloatCompare(pass *analysis.Pass, fl *ast.FuncLit) ast.Expr {
+	if len(fl.Body.List) != 1 {
+		return nil // multi-statement comparators have room for a tiebreak
+	}
+	ret, ok := fl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return nil
+	}
+	res := ast.Unparen(ret.Results[0])
+	// slices.SortFunc style: `return cmp.Compare(a.f, b.f)` on floats.
+	if call, ok := res.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "cmp" && fn.Name() == "Compare" &&
+				len(call.Args) == 2 && isFloat(pass.TypesInfo.TypeOf(call.Args[0])) {
+				return res
+			}
+		}
+		return nil
+	}
+	bin, ok := res.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	switch bin.Op {
+	case token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return nil // ||/&& chains carry their own secondary comparison
+	}
+	if isFloat(pass.TypesInfo.TypeOf(bin.X)) || isFloat(pass.TypesInfo.TypeOf(bin.Y)) {
+		return bin
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,203 @@
+// Package vettest is a miniature analysistest: it runs a single analyzer
+// over a deliberate-violation fixture package under testdata/src and checks
+// the reported diagnostics against `// want "regexp"` comments, analysistest
+// style.
+//
+// The upstream golang.org/x/tools/go/analysis/analysistest is not vendored
+// with the toolchain, so this package reimplements the useful core on top of
+// the same driver cmd/simvet uses: fixtures are parsed directly (they are
+// plain single-package programs importing only the standard library) and
+// their std dependencies are typechecked from source through driver.Loader.
+package vettest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	simvet "repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// loader is shared across tests in a binary: std packages are typechecked
+// once per process, not once per fixture.
+var (
+	loaderOnce sync.Once
+	loader     *driver.Loader
+)
+
+func sharedLoader(t *testing.T) *driver.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader = driver.NewLoader(".")
+	})
+	return loader
+}
+
+// Run applies analyzer a to the fixture package at testdata/src/<pkg> and
+// fails the test unless the diagnostics exactly match the fixture's
+// `// want "re"` expectations. It returns the //simvet:allow suppressions the
+// run recorded so callers can assert on suppression behavior.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) []simvet.Suppression {
+	t.Helper()
+	diags, sups, files, l := run(t, a, pkg)
+	checkExpectations(t, l, files, diags)
+	return sups
+}
+
+// RunRaw is Run without `// want` matching: it returns the diagnostics for
+// programmatic assertions. Used where expectations cannot be expressed as
+// comments (e.g. diagnostics about the comments themselves).
+func RunRaw(t *testing.T, a *analysis.Analyzer, pkg string) ([]driver.Diagnostic, []simvet.Suppression) {
+	t.Helper()
+	diags, sups, _, _ := run(t, a, pkg)
+	return diags, sups
+}
+
+func run(t *testing.T, a *analysis.Analyzer, pkg string) ([]driver.Diagnostic, []simvet.Suppression, []*ast.File, *driver.Loader) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("vettest: %v", err)
+	}
+
+	l := sharedLoader(t)
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("vettest: parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("vettest: no Go files in %s", dir)
+	}
+
+	// Typecheck the fixture's std imports through the shared loader, then the
+	// fixture itself against that universe.
+	var imports []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports = append(imports, p)
+			}
+		}
+	}
+	if len(imports) > 0 {
+		if _, err := l.LoadTypes(imports); err != nil {
+			t.Fatalf("vettest: loading fixture imports: %v", err)
+		}
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := &types.Config{Importer: l.StdImporter()}
+	tpkg, err := conf.Check(pkg, l.Fset, files, info)
+	if err != nil {
+		t.Fatalf("vettest: typechecking fixture %s: %v", pkg, err)
+	}
+
+	diags, sups, err := driver.RunAnalyzers(l.Fset, files, tpkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("vettest: running %s: %v", a.Name, err)
+	}
+	return diags, sups, files, l
+}
+
+type key struct {
+	file string
+	line int
+}
+
+// checkExpectations matches diagnostics against // want comments 1:1.
+func checkExpectations(t *testing.T, l *driver.Loader, files []*ast.File, diags []driver.Diagnostic) {
+	t.Helper()
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	wants := make(map[key][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := l.Fset.Position(c.Pos())
+				for _, lit := range splitWants(c.Text[idx+len("// want "):]) {
+					re, err := regexp.Compile(lit)
+					if err != nil {
+						t.Fatalf("vettest: bad want pattern %q at %s: %v", lit, pos, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+// splitWants extracts the string literals of a want comment:
+// `"a" "b"` or backquoted forms.
+func splitWants(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		quote := s[0]
+		if quote != '"' && quote != '`' {
+			break
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			break
+		}
+		lit := s[:end+2]
+		if unq, err := strconv.Unquote(lit); err == nil {
+			out = append(out, unq)
+		}
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// bannedTime lists the package time functions that read or wait on the host
+// wall clock. time.Duration arithmetic and the type time.Time itself stay
+// legal: sim.Time is defined in terms of time.Duration.
+var bannedTime = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// WalltimeAnalyzer forbids wall-clock time in the simulator's deterministic
+// core. A single time.Now in protocol code makes a run a function of host
+// load instead of the seed, and the digest replay check (check.
+// AssertDeterministic) can no longer vouch for an experiment.
+var WalltimeAnalyzer = &analysis.Analyzer{
+	Name:       "walltime",
+	Doc:        "forbid time.Now/Sleep/After and friends in internal simulator packages; use sim.Kernel virtual time",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: suppressionsType,
+	Run:        runWalltime,
+}
+
+func runWalltime(pass *analysis.Pass) (any, error) {
+	rep := newReporter(pass)
+	if !deterministicScope(pass.Pkg.Path()) {
+		return rep.finish(), nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		obj := pass.TypesInfo.Uses[sel.Sel]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+			return
+		}
+		if fn, ok := obj.(*types.Func); !ok || fn.Type().(*types.Signature).Recv() != nil {
+			return // methods on time.Time/Duration values are pure
+		}
+		if !bannedTime[obj.Name()] {
+			return
+		}
+		rep.reportf(sel, "time.%s reads the host wall clock; simulator code must use the kernel's virtual clock (sim.Kernel.Now/After/At)", obj.Name())
+	})
+	return rep.finish(), nil
+}
