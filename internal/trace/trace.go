@@ -6,7 +6,9 @@
 package trace
 
 import (
+	"bytes"
 	"encoding/binary"
+	"sort"
 
 	"repro/internal/inet"
 	"repro/internal/ipv4"
@@ -182,23 +184,45 @@ func (r *Reassembler) Stream(key FlowKey) (data []byte, complete bool) {
 	return st.data, st.fin && len(st.pending) == 0
 }
 
-// Flows lists the observed flow directions.
+// Flows lists the observed flow directions in a stable (src, dst) order, so
+// the result is a pure function of the traffic rather than of map iteration.
 func (r *Reassembler) Flows() []FlowKey {
-	out := make([]FlowKey, 0, len(r.flows))
-	for k := range r.flows {
-		out = append(out, k)
-	}
-	return out
+	return r.sortedFlowKeys()
 }
 
 // Streams concatenates all reassembled data across flows (the "grep the
-// capture" convenience).
+// capture" convenience), in the same stable order as Flows.
 func (r *Reassembler) Streams() [][]byte {
-	out := make([][]byte, 0, len(r.flows))
-	for _, st := range r.flows {
-		if len(st.data) > 0 {
+	keys := r.sortedFlowKeys()
+	out := make([][]byte, 0, len(keys))
+	for _, k := range keys {
+		if st := r.flows[k]; len(st.data) > 0 {
 			out = append(out, st.data)
 		}
 	}
 	return out
+}
+
+// sortedFlowKeys is the collect-then-sort idiom the determinism contract
+// requires around map iteration (simvet: maporder).
+func (r *Reassembler) sortedFlowKeys() []FlowKey {
+	keys := make([]FlowKey, 0, len(r.flows))
+	for k := range r.flows {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Src != b.Src {
+			return hostPortLess(a.Src, b.Src)
+		}
+		return hostPortLess(a.Dst, b.Dst)
+	})
+	return keys
+}
+
+func hostPortLess(a, b inet.HostPort) bool {
+	if c := bytes.Compare(a.Addr[:], b.Addr[:]); c != 0 {
+		return c < 0
+	}
+	return a.Port < b.Port
 }
