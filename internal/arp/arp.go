@@ -6,8 +6,10 @@
 package arp
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
+	"sort"
 
 	"repro/internal/ethernet"
 	"repro/internal/inet"
@@ -152,7 +154,8 @@ func NewClient(k *sim.Kernel, nic ethernet.NIC, ip inet.Addr, cfg Config) *Clien
 // bypassed.
 func (c *Client) checkConsistency() error {
 	now := c.kernel.Now()
-	for ip, e := range c.cache {
+	for _, ip := range sortedAddrKeys(c.cache) {
+		e := c.cache[ip]
 		if e.learned > now {
 			return errors.New("arp: cache entry for " + ip.String() + " learned in the future")
 		}
@@ -163,7 +166,8 @@ func (c *Client) checkConsistency() error {
 			return errors.New("arp: cache entry for unspecified address")
 		}
 	}
-	for ip, p := range c.wait {
+	for _, ip := range sortedAddrKeys(c.wait) {
+		p := c.wait[ip]
 		if p.attempts < 1 || p.attempts > c.cfg.MaxRetries {
 			return errors.New("arp: pending resolution for " + ip.String() + " with attempt count out of range")
 		}
@@ -172,6 +176,20 @@ func (c *Client) checkConsistency() error {
 		}
 	}
 	return nil
+}
+
+// sortedAddrKeys collects a map's address keys and sorts them, so invariant
+// checks report the same first offender on every run regardless of map
+// iteration order.
+func sortedAddrKeys[V any](m map[inet.Addr]V) []inet.Addr {
+	addrs := make([]inet.Addr, 0, len(m))
+	for ip := range m {
+		addrs = append(addrs, ip)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		return bytes.Compare(addrs[i][:], addrs[j][:]) < 0
+	})
+	return addrs
 }
 
 // IP reports the protocol address the client answers for.

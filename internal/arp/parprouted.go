@@ -1,6 +1,8 @@
 package arp
 
 import (
+	"sort"
+
 	"repro/internal/ethernet"
 	"repro/internal/inet"
 	"repro/internal/sim"
@@ -56,13 +58,7 @@ func NewParprouted(k *sim.Kernel, routes RouteInstaller, ifaces map[string]*Clie
 		p.ifaces = append(p.ifaces, bridgeIface{name: name, client: c})
 	}
 	// Deterministic order regardless of map iteration.
-	for i := 0; i < len(p.ifaces); i++ {
-		for j := i + 1; j < len(p.ifaces); j++ {
-			if p.ifaces[j].name < p.ifaces[i].name {
-				p.ifaces[i], p.ifaces[j] = p.ifaces[j], p.ifaces[i]
-			}
-		}
-	}
+	sort.Slice(p.ifaces, func(i, j int) bool { return p.ifaces[i].name < p.ifaces[j].name })
 	for idx := range p.ifaces {
 		idx := idx
 		bi := p.ifaces[idx]
