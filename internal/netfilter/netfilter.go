@@ -328,6 +328,10 @@ func (t *Table) FlushConntrack() {
 // whose replies cannot be un-translated. Registered on the kernel via
 // RegisterInvariants.
 func (t *Table) CheckConntrack() error {
+	// Any violation aborts the run; only the first-error text varies with
+	// iteration order, never simulation state. Sorting the 5-field flow keys
+	// at every event boundary would cost more than the check itself.
+	//simvet:allow maporder invariant check is order-independent: any hit aborts, and sorting 5-field flow keys per event boundary costs more than the check
 	for key, e := range t.conntrack {
 		var rev flowKey
 		switch e.kind {

@@ -65,6 +65,10 @@ func NewStack(ip *ipv4.Stack) *Stack {
 // legal TCP state, so a violation always means stack corruption rather than
 // an unusual-but-valid peer.
 func (s *Stack) checkConns() error {
+	// Any violation aborts the run; only the first-error text varies with
+	// iteration order, never simulation state. Sorting multi-field conn keys
+	// at every event boundary would cost more than the check itself.
+	//simvet:allow maporder invariant check is order-independent: any hit aborts, and sorting multi-field conn keys per event boundary costs more than the check
 	for k, c := range s.conns {
 		if !seqLEQ(c.sndUna, c.sndNxt) {
 			return fmt.Errorf("conn %v->%v: sndUna %d beyond sndNxt %d", k.local, k.remote, c.sndUna, c.sndNxt)
