@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race bench simvet lint
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# simvet is the repo's own determinism-and-safety linter (cmd/simvet).
+simvet:
+	$(GO) run ./cmd/simvet ./...
+
+# lint mirrors the CI lint job exactly; see scripts/lint.sh for the
+# staticcheck/govulncheck version pins.
+lint:
+	sh scripts/lint.sh

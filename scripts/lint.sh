@@ -1,0 +1,34 @@
+#!/bin/sh
+# scripts/lint.sh — the lint gate, identical to the `lint` job in
+# .github/workflows/ci.yml. `make lint` runs this.
+#
+# go vet and simvet always run (both ship with the repo). staticcheck and
+# govulncheck need a network install, so locally they are skipped when not
+# on PATH; CI always installs the pinned versions below. Keep the pins here
+# and in ci.yml in lockstep.
+set -eu
+
+STATICCHECK_VERSION=${STATICCHECK_VERSION:-2024.1.1}
+GOVULNCHECK_VERSION=${GOVULNCHECK_VERSION:-v1.1.3}
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== simvet (determinism contract) =="
+go run ./cmd/simvet ./...
+
+if command -v staticcheck >/dev/null 2>&1; then
+	echo "== staticcheck =="
+	staticcheck ./...
+else
+	echo "== staticcheck: not installed, skipping (CI pins ${STATICCHECK_VERSION}) =="
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+	echo "== govulncheck =="
+	govulncheck ./...
+else
+	echo "== govulncheck: not installed, skipping (CI pins ${GOVULNCHECK_VERSION}) =="
+fi
