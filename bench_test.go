@@ -6,9 +6,11 @@ package repro
 // re-verifies the paper's qualitative results.
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -154,6 +156,50 @@ func BenchmarkE11APOutage(b *testing.B) {
 		}
 		return true
 	})
+}
+
+// BenchmarkChaosDigestMatrix times the (seed × schedule) chaos matrix and
+// asserts its determinism contract on every iteration: each point must
+// converge with invariant checks enabled and replay to the exact digest of a
+// baseline run taken before timing starts. CI runs this at -benchtime 1x, so
+// any change that shifts a chaos digest — e.g. reintroducing one of the
+// map-iteration-order bugs simvet guards against — fails the benchmark, not
+// just the slower sweep tests.
+func BenchmarkChaosDigestMatrix(b *testing.B) {
+	seeds := []uint64{1, 7, 42}
+	schedules := []string{"deauth-storm", "ap-restart", "burst-loss"}
+	runPoint := func(seed uint64, schedule string) uint64 {
+		b.Helper()
+		o, err := core.RunScenarioFaults("healthy", seed, true, schedule)
+		if err != nil {
+			b.Fatalf("seed %d schedule %q: %v", seed, schedule, err)
+		}
+		if !o.Converged {
+			b.Fatalf("seed %d schedule %q: did not converge", seed, schedule)
+		}
+		if o.Digest == 0 {
+			b.Fatalf("seed %d schedule %q: zero digest", seed, schedule)
+		}
+		return o.Digest
+	}
+	baseline := make(map[string]uint64)
+	for _, seed := range seeds {
+		for _, schedule := range schedules {
+			baseline[fmt.Sprintf("%d/%s", seed, schedule)] = runPoint(seed, schedule)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, seed := range seeds {
+			for _, schedule := range schedules {
+				key := fmt.Sprintf("%d/%s", seed, schedule)
+				if got := runPoint(seed, schedule); got != baseline[key] {
+					b.Fatalf("seed %d schedule %q: digest diverged from baseline: %016x != %016x",
+						seed, schedule, got, baseline[key])
+				}
+			}
+		}
+	}
 }
 
 // BenchmarkE12BurstLoss — downloads complete through bursty air.
