@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/dot11"
 	"repro/internal/ethernet"
+	"repro/internal/pkt"
 	"repro/internal/sim"
 )
 
@@ -353,6 +354,11 @@ func (s *Supplicant) SetReceiver(r ethernet.Receiver) { s.inner = r }
 // Send implements ethernet.NIC.
 func (s *Supplicant) Send(dst ethernet.MAC, t ethernet.EtherType, payload []byte) {
 	s.nic.Send(dst, t, payload)
+}
+
+// SendBuf implements ethernet.NIC, passing ownership straight through.
+func (s *Supplicant) SendBuf(dst ethernet.MAC, t ethernet.EtherType, pb *pkt.Buf) {
+	s.nic.SendBuf(dst, t, pb)
 }
 
 var _ ethernet.NIC = (*Supplicant)(nil)

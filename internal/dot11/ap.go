@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ethernet"
 	"repro/internal/phy"
+	"repro/internal/pkt"
 	"repro/internal/sim"
 	"repro/internal/wep"
 )
@@ -426,43 +427,62 @@ func (ap *AP) onData(f Frame) {
 		return
 	}
 	body := f.Body
+	var pb *pkt.Buf // decrypt buffer; ownership passes to bridge
 	if ap.cfg.WEPKey != nil {
 		if !f.Protected {
 			ap.UnprotectedDrops++
 			return
 		}
-		plain, err := wep.Open(ap.cfg.WEPKey, body)
-		if err != nil {
+		pb = ap.kernel.BufPool().GetCopy(body)
+		if err := wep.OpenInPlace(ap.cfg.WEPKey, pb); err != nil {
 			ap.ICVFailures++
+			pb.Release()
 			return
 		}
-		body = plain
+		body = pb.Bytes()
 	} else if f.Protected {
 		return // we have no key to decrypt with
 	}
 	t, payload, err := DecapsulateLLC(body)
 	if err != nil {
+		if pb != nil {
+			pb.Release()
+		}
 		return
+	}
+	if pb != nil {
+		pb.Pop(LLCLen) // the buffer's view becomes the inner payload
 	}
 	src, dst := f.Addr2, f.Addr3
 	if ap.PortGate != nil && !ap.PortGate(src, t) {
 		ap.GateDrops++
+		if pb != nil {
+			pb.Release()
+		}
 		return
 	}
-	ap.bridge(src, dst, t, payload, fromAir)
+	ap.bridge(src, dst, t, payload, fromAir, pb)
 }
 
-// onUplinkFrame handles wire → BSS traffic.
+// onUplinkFrame handles wire → BSS traffic. The frame's payload is a
+// transient view (the port releases its buffer after this returns), so the
+// bridge gets no owned buffer: air forwarding copies.
 func (ap *AP) onUplinkFrame(f ethernet.Frame) {
 	if ap.stopped || ap.down {
 		return
 	}
-	ap.bridge(f.Src, f.Dst, f.Type, f.Payload, fromWire)
+	ap.bridge(f.Src, f.Dst, f.Type, f.Payload, fromWire, nil)
 }
 
 // hostSend handles host-stack → BSS/wire traffic.
 func (ap *AP) hostSend(dst ethernet.MAC, t ethernet.EtherType, payload []byte) {
-	ap.bridge(ap.cfg.BSSID, dst, t, payload, fromHost)
+	ap.bridge(ap.cfg.BSSID, dst, t, payload, fromHost, nil)
+}
+
+// hostSendBuf is the zero-copy host path: the bridge takes ownership of pb
+// and, when the frame only goes to the air, encapsulates it in place.
+func (ap *AP) hostSendBuf(dst ethernet.MAC, t ethernet.EtherType, pb *pkt.Buf) {
+	ap.bridge(ap.cfg.BSSID, dst, t, pb.Bytes(), fromHost, pb)
 }
 
 type bridgeOrigin int
@@ -473,36 +493,59 @@ const (
 	fromHost
 )
 
-// bridge implements the AP's three-way L2 forwarding.
-func (ap *AP) bridge(src, dst ethernet.MAC, t ethernet.EtherType, payload []byte, origin bridgeOrigin) {
+// bridge implements the AP's three-way L2 forwarding. payload is the frame
+// body; owned, when non-nil, is the buffer payload views, and the bridge
+// takes ownership of it (releasing it unless it is handed whole to the air
+// path). The toHost → toAir → toWire order is load-bearing: delivery event
+// sequence numbers — and therefore the trace digest — depend on it.
+func (ap *AP) bridge(src, dst ethernet.MAC, t ethernet.EtherType, payload []byte, origin bridgeOrigin, owned *pkt.Buf) {
 	toHost := dst == ap.cfg.BSSID || dst.IsMulticast()
 	toAir := dst.IsMulticast() || ap.IsAssociated(dst)
 	toWire := ap.uplink != nil && (dst.IsMulticast() || (!toAir && dst != ap.cfg.BSSID))
+	airSend := toAir && origin != fromAir || (toAir && dst.IsMulticast() && origin == fromAir)
+	wireSend := toWire && origin != fromWire
 
 	if toHost && origin != fromHost && ap.host.recv != nil {
 		ap.host.recv(ethernet.Frame{Dst: dst, Src: src, Type: t, Payload: payload})
 	}
-	if toAir && origin != fromAir || (toAir && dst.IsMulticast() && origin == fromAir) {
-		ap.sendToAir(src, dst, t, payload)
+	if airSend {
+		if owned != nil && !wireSend {
+			// Sole remaining consumer: encapsulate in place. When the wire
+			// path still needs the cleartext bytes we must not seal over
+			// them, so that case falls through to the copying path.
+			ap.sendToAirBuf(src, dst, t, owned)
+			owned = nil
+		} else {
+			ap.sendToAir(src, dst, t, payload)
+		}
 	}
-	if toWire && origin != fromWire {
+	if wireSend {
 		ap.uplink.Transmit(ethernet.Frame{Dst: dst, Src: src, Type: t, Payload: payload})
+	}
+	if owned != nil {
+		owned.Release()
 	}
 }
 
-// sendToAir transmits a FromDS data frame into the BSS.
+// sendToAir transmits a FromDS data frame into the BSS, copying the payload
+// into a pooled buffer.
 func (ap *AP) sendToAir(src, dst ethernet.MAC, t ethernet.EtherType, payload []byte) {
-	body := EncapsulateLLC(t, payload)
+	ap.sendToAirBuf(src, dst, t, ap.kernel.BufPool().GetCopy(payload))
+}
+
+// sendToAirBuf transmits a FromDS data frame, encapsulating in place (LLC,
+// optional WEP, MAC header pushed into pb's headroom). Takes ownership of pb.
+func (ap *AP) sendToAirBuf(src, dst ethernet.MAC, t ethernet.EtherType, pb *pkt.Buf) {
+	putLLC(pb.Push(LLCLen), t)
 	protected := false
 	if ap.cfg.WEPKey != nil {
-		body = sealBody(ap.cfg.WEPKey, ap.cfg.IVSource, body)
+		wep.SealInPlace(ap.cfg.WEPKey, ap.cfg.IVSource.NextIV(), 0, pb)
 		protected = true
 	}
-	ap.transmit(Frame{
+	ap.transmitBuf(Frame{
 		Type: TypeData, Subtype: SubtypeDataFrame, FromDS: true, Protected: protected,
 		Addr1: dst, Addr2: ap.cfg.BSSID, Addr3: src,
-		Body: body,
-	})
+	}, pb)
 }
 
 // apHostNIC is the AP host's virtual interface.
@@ -516,6 +559,9 @@ func (n *apHostNIC) MTU() int                        { return ethernet.DefaultMT
 func (n *apHostNIC) SetReceiver(r ethernet.Receiver) { n.recv = r }
 func (n *apHostNIC) Send(dst ethernet.MAC, t ethernet.EtherType, payload []byte) {
 	n.ap.hostSend(dst, t, payload)
+}
+func (n *apHostNIC) SendBuf(dst ethernet.MAC, t ethernet.EtherType, pb *pkt.Buf) {
+	n.ap.hostSendBuf(dst, t, pb)
 }
 
 var _ ethernet.NIC = (*apHostNIC)(nil)

@@ -71,9 +71,19 @@ type Frame struct {
 // headerLen is the serialised MAC header size (no QoS, no Addr4).
 const headerLen = 2 + 2 + 6 + 6 + 6 + 2
 
-// Marshal serialises the frame.
+// Marshal serialises the frame into an exactly-sized slice (tests assert
+// zero spare capacity).
 func (f *Frame) Marshal() []byte {
 	b := make([]byte, headerLen+len(f.Body))
+	f.putHeader(b)
+	copy(b[headerLen:], f.Body)
+	return b
+}
+
+// putHeader writes the 24-byte MAC header into b, which must hold at least
+// headerLen bytes. The zero-copy transmit path pushes the header into packet
+// headroom with this; Marshal shares it.
+func (f *Frame) putHeader(b []byte) {
 	fc0 := byte(f.Type)<<2 | byte(f.Subtype)<<4 // version 0
 	var fc1 byte
 	if f.ToDS {
@@ -89,13 +99,11 @@ func (f *Frame) Marshal() []byte {
 		fc1 |= 0x40
 	}
 	b[0], b[1] = fc0, fc1
-	// b[2:4] duration: unused, zero.
+	b[2], b[3] = 0, 0 // duration: unused
 	copy(b[4:10], f.Addr1[:])
 	copy(b[10:16], f.Addr2[:])
 	copy(b[16:22], f.Addr3[:])
 	binary.LittleEndian.PutUint16(b[22:24], f.Seq<<4|uint16(f.Frag&0x0f))
-	copy(b[headerLen:], f.Body)
-	return b
 }
 
 // ErrShortFrame reports a buffer too small to hold a MAC header.
@@ -209,9 +217,9 @@ func UnmarshalBeaconBody(p []byte) (BeaconBody, error) {
 // (empty for a wildcard probe).
 type ProbeReqBody struct{ SSID string }
 
-// Marshal serialises the probe request body.
+// Marshal serialises the probe request body into an exactly-sized slice.
 func (b *ProbeReqBody) Marshal() []byte {
-	return appendIE(nil, ieSSID, []byte(b.SSID))
+	return appendIE(make([]byte, 0, 2+len(b.SSID)), ieSSID, []byte(b.SSID))
 }
 
 // UnmarshalProbeReqBody parses a probe request body.
@@ -407,11 +415,17 @@ const LLCLen = 8
 // EncapsulateLLC wraps an EtherType and payload in LLC/SNAP.
 func EncapsulateLLC(t ethernet.EtherType, payload []byte) []byte {
 	out := make([]byte, LLCLen+len(payload))
-	copy(out, llcSNAPHeader)
-	out[6] = byte(t >> 8)
-	out[7] = byte(t)
+	putLLC(out, t)
 	copy(out[LLCLen:], payload)
 	return out
+}
+
+// putLLC writes the LLC/SNAP header into the first LLCLen bytes of b; the
+// zero-copy path pushes it into packet headroom.
+func putLLC(b []byte, t ethernet.EtherType) {
+	copy(b, llcSNAPHeader)
+	b[6] = byte(t >> 8)
+	b[7] = byte(t)
 }
 
 // DecapsulateLLC unwraps an LLC/SNAP payload.

@@ -34,6 +34,26 @@ func TestFrameMarshalRoundTrip(t *testing.T) {
 	}
 }
 
+// TestMarshalExactCapacity pins the documented allocation contract: Marshal
+// returns an exactly-sized slice with no spare capacity, so repeated appends
+// by a caller cannot silently grow into (and alias) adjacent frames.
+func TestMarshalExactCapacity(t *testing.T) {
+	f := Frame{
+		Type: TypeData, Subtype: SubtypeDataFrame,
+		Addr1: macAP, Addr2: macSTA, Addr3: macDst,
+		Body: []byte("payload"),
+	}
+	b := f.Marshal()
+	if cap(b) != len(b) {
+		t.Fatalf("Frame.Marshal: cap %d != len %d (spare capacity)", cap(b), len(b))
+	}
+	pr := ProbeReqBody{SSID: "corp"}
+	pb := pr.Marshal()
+	if cap(pb) != len(pb) {
+		t.Fatalf("ProbeReqBody.Marshal: cap %d != len %d (spare capacity)", cap(pb), len(pb))
+	}
+}
+
 func TestQuickFrameRoundTrip(t *testing.T) {
 	f := func(typ, sub byte, toDS, fromDS, prot bool, a1, a2, a3 [6]byte, seq uint16, body []byte) bool {
 		in := Frame{

@@ -3,6 +3,7 @@ package dot11
 import (
 	"repro/internal/ethernet"
 	"repro/internal/phy"
+	"repro/internal/pkt"
 	"repro/internal/sim"
 	"repro/internal/wep"
 )
@@ -20,9 +21,11 @@ const (
 	maxRetries = 7
 )
 
-// txJob is one frame queued for transmission.
+// txJob is one frame queued for transmission. The job owns one reference to
+// pb (the serialised frame) for as long as a retransmission may need it; each
+// radio transmission takes its own reference.
 type txJob struct {
-	raw      []byte
+	pb       *pkt.Buf
 	needsAck bool
 	attempt  int // CSMA deferrals (resets per retry)
 	retries  int // ACK-timeout retransmissions
@@ -41,10 +44,21 @@ type entity struct {
 	addr   ethernet.MAC // own MAC; zero for raw injectors (no ACK behaviour)
 	seq    uint16
 
+	// queue[qhead:] is the pending-frame FIFO; the backing array is reused
+	// once drained instead of being re-allocated per frame.
 	queue    []*txJob
+	qhead    int
 	inflight *txJob
+	// freeJobs is the LIFO freelist of recycled txJob structs.
+	freeJobs []*txJob
 	ackTimer *sim.Event
 	nextTxAt sim.Time
+
+	// attemptSendFn/kickFn are the method closures scheduled for every
+	// pacing, backoff, and completion event — bound once here so the hot
+	// path does not allocate a fresh closure per frame.
+	attemptSendFn func()
+	kickFn        func()
 
 	// handler receives frames that pass address and duplicate filtering.
 	handler func(f Frame, info phy.RxInfo)
@@ -67,6 +81,8 @@ func newEntity(k *sim.Kernel, radio *phy.Radio, rate phy.Rate, addr ethernet.MAC
 		kernel: k, radio: radio, rng: k.RNG().Fork(), rate: rate, addr: addr,
 		lastRx: make(map[ethernet.MAC]uint16),
 	}
+	e.attemptSendFn = e.attemptSend
+	e.kickFn = e.kick
 	radio.SetReceiver(e.onRadioFrame)
 	return e
 }
@@ -85,20 +101,60 @@ func (e *entity) transmit(f Frame) {
 	e.enqueue(f)
 }
 
-// enqueue queues a frame without touching its sequence number.
+// enqueue queues a frame without touching its sequence number, serialising
+// it into a pooled buffer.
 func (e *entity) enqueue(f Frame) {
-	needsAck := !f.Addr1.IsMulticast() && e.addr != (ethernet.MAC{}) && f.Type != TypeControl
-	e.queue = append(e.queue, &txJob{raw: f.Marshal(), needsAck: needsAck})
+	pb := e.kernel.BufPool().Get()
+	b := pb.Extend(f.WireLen())
+	f.putHeader(b)
+	copy(b[headerLen:], f.Body)
+	e.enqueueBuf(f.Addr1, f.Type, pb)
+}
+
+// transmitBuf assigns a sequence number and queues a data frame whose body
+// already sits in pb, pushing the MAC header into the buffer's headroom —
+// the zero-copy path. f.Body is ignored; the frame describes the header
+// only. Ownership of pb transfers to the transmit queue.
+func (e *entity) transmitBuf(f Frame, pb *pkt.Buf) {
+	f.Seq = e.nextSeq()
+	f.putHeader(pb.Push(headerLen))
+	e.enqueueBuf(f.Addr1, f.Type, pb)
+}
+
+// enqueueBuf queues a serialised frame and starts transmission if idle.
+func (e *entity) enqueueBuf(addr1 ethernet.MAC, typ Type, pb *pkt.Buf) {
+	needsAck := !addr1.IsMulticast() && e.addr != (ethernet.MAC{}) && typ != TypeControl
+	var job *txJob
+	if n := len(e.freeJobs); n > 0 {
+		job = e.freeJobs[n-1]
+		e.freeJobs = e.freeJobs[:n-1]
+		*job = txJob{pb: pb, needsAck: needsAck}
+	} else {
+		job = &txJob{pb: pb, needsAck: needsAck}
+	}
+	e.queue = append(e.queue, job)
 	e.kick()
+}
+
+// putJob recycles a finished job. Callers must have released (or handed off)
+// job.pb and ensured no pending timer still references the job.
+func (e *entity) putJob(job *txJob) {
+	job.pb = nil
+	e.freeJobs = append(e.freeJobs, job)
 }
 
 // kick starts the next queued frame if the channel logic is idle.
 func (e *entity) kick() {
-	if e.inflight != nil || len(e.queue) == 0 {
+	if e.inflight != nil || e.qhead >= len(e.queue) {
 		return
 	}
-	e.inflight = e.queue[0]
-	e.queue = e.queue[1:]
+	e.inflight = e.queue[e.qhead]
+	e.queue[e.qhead] = nil
+	e.qhead++
+	if e.qhead == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.qhead = 0
+	}
 	e.attemptSend()
 }
 
@@ -110,23 +166,26 @@ func (e *entity) attemptSend() {
 	}
 	now := e.kernel.Now()
 	if now < e.nextTxAt {
-		e.kernel.At(e.nextTxAt, e.attemptSend)
+		e.kernel.Schedule(e.nextTxAt, e.attemptSendFn)
 		return
 	}
 	if e.radio.CarrierBusy() {
 		e.Deferrals++
 		job.attempt++
 		backoff := difs + sim.Time(e.rng.Intn(cwMin+1))*slotTime
-		e.kernel.After(backoff, e.attemptSend)
+		e.kernel.ScheduleAfter(backoff, e.attemptSendFn)
 		return
 	}
-	end := e.radio.Send(job.raw, e.rate)
+	end := e.radio.SendBuf(job.pb.Retain(), e.rate)
 	// Contention gap before our next transmission, so other stations can
 	// win the channel between our frames.
 	e.nextTxAt = end + difs + sim.Time(e.rng.Intn(8))*slotTime
 	if !job.needsAck {
+		// No retransmission possible: the radio's reference is the last one.
+		job.pb.Release()
 		e.inflight = nil
-		e.kernel.At(end, e.kick)
+		e.putJob(job)
+		e.kernel.Schedule(end, e.kickFn)
 		return
 	}
 	// Await the link-layer ACK.
@@ -141,12 +200,19 @@ func (e *entity) onAckTimeout(job *txJob) {
 	job.retries++
 	if job.retries > maxRetries {
 		e.TxFailed++
+		job.pb.Release()
 		e.inflight = nil
+		// The timer that fired to get here was the job's only live
+		// reference; safe to recycle.
+		e.putJob(job)
 		e.kick()
 		return
 	}
 	e.MACRetries++
-	job.raw[1] |= 0x08 // set the Retry bit
+	// Set the Retry bit for the retransmission. Safe in place: the previous
+	// attempt's air occupancy ended strictly before this timeout fired, so
+	// the phy has already mixed and delivered the un-retried bytes.
+	job.pb.Bytes()[1] |= 0x08
 	// Exponential backoff before the retry.
 	cw := cwMin << uint(job.retries)
 	if cw > cwMax {
@@ -164,6 +230,9 @@ func (e *entity) onAckReceived() {
 		e.ackTimer.Cancel()
 		e.ackTimer = nil
 	}
+	e.inflight.pb.Release()
+	// The ack timer was just cancelled, so nothing references the job.
+	e.putJob(e.inflight)
 	e.inflight = nil
 	e.kick()
 }
@@ -176,8 +245,9 @@ const ackFrameLen = headerLen
 func (e *entity) sendAck(dst ethernet.MAC) {
 	e.AcksSent++
 	ack := Frame{Type: TypeControl, Subtype: SubtypeAck, Addr1: dst}
-	raw := ack.Marshal()
-	e.kernel.After(sifs, func() { e.radio.Send(raw, e.rate) })
+	pb := e.kernel.BufPool().Get()
+	ack.putHeader(pb.Extend(ackFrameLen))
+	e.kernel.ScheduleAfter(sifs, func() { e.radio.SendBuf(pb, e.rate) })
 }
 
 // onRadioFrame is the shared receive path: ACK handling, ACK generation,

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ethernet"
 	"repro/internal/phy"
+	"repro/internal/pkt"
 	"repro/internal/sim"
 	"repro/internal/wep"
 )
@@ -513,44 +514,55 @@ func (s *STA) onData(f Frame) {
 		return // our own broadcast echoed back by the AP
 	}
 	body := f.Body
+	var pb *pkt.Buf // decrypt buffer, released after the synchronous delivery
 	if f.Protected {
 		if s.cfg.WEPKey == nil {
 			return
 		}
-		plain, err := wep.Open(s.cfg.WEPKey, body)
-		if err != nil {
+		pb = s.kernel.BufPool().GetCopy(body)
+		if err := wep.OpenInPlace(s.cfg.WEPKey, pb); err != nil {
 			s.RxICVFailures++
+			pb.Release()
 			return
 		}
-		body = plain
+		body = pb.Bytes()
 	} else if s.cfg.WEPKey != nil && s.bss.Privacy() {
 		return // network requires WEP; drop cleartext
 	}
 	t, payload, err := DecapsulateLLC(body)
-	if err != nil {
-		return
-	}
-	if s.nic.recv != nil {
+	if err == nil && s.nic.recv != nil {
 		s.nic.recv(ethernet.Frame{Dst: f.Addr1, Src: f.Addr3, Type: t, Payload: payload})
+	}
+	if pb != nil {
+		pb.Release()
 	}
 }
 
-// sendData transmits a ToDS data frame to the AP.
+// sendData transmits a ToDS data frame to the AP, copying the payload into a
+// pooled buffer (convenience path; the IP stack hands over owned buffers via
+// the NIC's SendBuf).
 func (s *STA) sendData(dst ethernet.MAC, t ethernet.EtherType, payload []byte) {
+	s.sendDataBuf(dst, t, s.kernel.BufPool().GetCopy(payload))
+}
+
+// sendDataBuf transmits a ToDS data frame, encapsulating in place: LLC, then
+// optionally WEP, then the MAC header, all pushed into pb's headroom. Takes
+// ownership of pb on every path.
+func (s *STA) sendDataBuf(dst ethernet.MAC, t ethernet.EtherType, pb *pkt.Buf) {
 	if s.state != StateAssociated {
+		pb.Release()
 		return
 	}
-	body := EncapsulateLLC(t, payload)
+	putLLC(pb.Push(LLCLen), t)
 	protected := false
 	if s.cfg.WEPKey != nil {
-		body = sealBody(s.cfg.WEPKey, s.cfg.IVSource, body)
+		wep.SealInPlace(s.cfg.WEPKey, s.cfg.IVSource.NextIV(), 0, pb)
 		protected = true
 	}
-	s.transmit(Frame{
+	s.transmitBuf(Frame{
 		Type: TypeData, Subtype: SubtypeDataFrame, ToDS: true, Protected: protected,
 		Addr1: s.bss.BSSID, Addr2: s.cfg.MAC, Addr3: dst,
-		Body: body,
-	})
+	}, pb)
 }
 
 // staNIC adapts the station to the ethernet.NIC interface.
@@ -564,6 +576,9 @@ func (n *staNIC) MTU() int                        { return ethernet.DefaultMTU }
 func (n *staNIC) SetReceiver(r ethernet.Receiver) { n.recv = r }
 func (n *staNIC) Send(dst ethernet.MAC, t ethernet.EtherType, payload []byte) {
 	n.sta.sendData(dst, t, payload)
+}
+func (n *staNIC) SendBuf(dst ethernet.MAC, t ethernet.EtherType, pb *pkt.Buf) {
+	n.sta.sendDataBuf(dst, t, pb)
 }
 
 var _ ethernet.NIC = (*staNIC)(nil)

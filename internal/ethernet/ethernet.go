@@ -11,6 +11,8 @@ package ethernet
 
 import (
 	"fmt"
+
+	"repro/internal/pkt"
 )
 
 // MAC is a 48-bit IEEE 802 hardware address, used by both wired Ethernet and
@@ -119,7 +121,8 @@ const HeaderLen = 14
 // FCS and padding, which the simulation does not model).
 func (f *Frame) WireLen() int { return HeaderLen + len(f.Payload) }
 
-// Marshal serialises the frame.
+// Marshal serialises the frame into an exactly-sized slice (tests assert
+// zero spare capacity).
 func (f *Frame) Marshal() []byte {
 	b := make([]byte, HeaderLen+len(f.Payload))
 	copy(b[0:6], f.Dst[:])
@@ -155,8 +158,16 @@ type NIC interface {
 	HWAddr() MAC
 	// MTU reports the maximum payload size.
 	MTU() int
-	// Send transmits payload to dst with the given EtherType.
+	// Send transmits payload to dst with the given EtherType. The payload is
+	// copied (or otherwise kept alive) by the NIC; convenient for cold paths
+	// and tests.
 	Send(dst MAC, t EtherType, payload []byte)
+	// SendBuf transmits an owned packet buffer to dst with the given
+	// EtherType, taking ownership of pb: the NIC (and the layers below it)
+	// release it when the frame leaves the system, on every path. This is
+	// the zero-copy spine — lower layers push their headers into pb's
+	// headroom instead of re-marshalling.
+	SendBuf(dst MAC, t EtherType, pb *pkt.Buf)
 	// SetReceiver installs the upper-layer frame handler. Frames addressed
 	// to this NIC (or broadcast/multicast) are delivered; NICs are not
 	// promiscuous unless documented otherwise.

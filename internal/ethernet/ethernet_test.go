@@ -56,6 +56,20 @@ func TestMACAllocatorUnique(t *testing.T) {
 	}
 }
 
+// TestMarshalExactCapacity pins the documented allocation contract: Marshal
+// returns an exactly-sized slice with no spare capacity, so repeated appends
+// by a caller cannot silently grow into (and alias) adjacent frames.
+func TestMarshalExactCapacity(t *testing.T) {
+	f := Frame{
+		Dst: MustParseMAC("02:00:00:00:00:01"), Src: MustParseMAC("02:00:00:00:00:02"),
+		Type: TypeIPv4, Payload: []byte("payload"),
+	}
+	b := f.Marshal()
+	if cap(b) != len(b) {
+		t.Fatalf("Frame.Marshal: cap %d != len %d (spare capacity)", cap(b), len(b))
+	}
+}
+
 func TestFrameMarshalRoundTrip(t *testing.T) {
 	f := Frame{
 		Dst:     MustParseMAC("aa:bb:cc:dd:ee:ff"),

@@ -3,6 +3,7 @@ package ethernet
 import (
 	"math"
 
+	"repro/internal/pkt"
 	"repro/internal/sim"
 )
 
@@ -92,42 +93,69 @@ func (p *Port) SetReceiver(r Receiver) { p.recv = r }
 func (p *Port) SetPromiscuous(on bool) { p.promiscuous = on }
 
 // Send implements NIC: it frames the payload and transmits on the cable.
+// The payload is copied into a pooled buffer (Transmit clones); hot paths
+// hand over an owned buffer via SendBuf instead.
 func (p *Port) Send(dst MAC, t EtherType, payload []byte) {
 	p.Transmit(Frame{Dst: dst, Src: p.mac, Type: t, Payload: payload})
 }
 
+// SendBuf implements NIC: zero-copy transmit of an owned packet buffer. The
+// port takes ownership of pb and releases it once the frame has been
+// delivered (or dropped).
+func (p *Port) SendBuf(dst MAC, t EtherType, pb *pkt.Buf) {
+	p.xmit(Frame{Dst: dst, Src: p.mac, Type: t, Payload: pb.Bytes()}, pb)
+}
+
 // Transmit puts an already-built frame on the wire. Exposed so bridges and
-// switches can forward frames with their original source address.
+// switches can forward frames with their original source address. The
+// payload is cloned into a pooled buffer: the caller's view may alias a
+// buffer that is released (and recycled) long before the frame's delivery
+// event fires.
 func (p *Port) Transmit(f Frame) {
 	if p.peer == nil {
 		return // unplugged
 	}
+	pb := p.kernel.BufPool().GetCopy(f.Payload)
+	f.Payload = pb.Bytes()
+	p.xmit(f, pb)
+}
+
+// xmit applies the MTU gate and fault profile, then transmits. It owns pb
+// (f.Payload views it) and releases it on every drop path; fault corruption
+// mutates the buffer in place.
+func (p *Port) xmit(f Frame, pb *pkt.Buf) {
+	if p.peer == nil {
+		pb.Release()
+		return // unplugged
+	}
 	if len(f.Payload) > p.mtu {
 		p.kernel.Tracef("ethernet", "drop oversize frame (%d > MTU %d)", len(f.Payload), p.mtu)
+		pb.Release()
 		return
 	}
 	if fp := p.faults; fp != nil && fp.RNG != nil {
 		if fp.RNG.Bool(fp.DropP) {
 			p.FaultDrops++
+			pb.Release()
 			return
 		}
 		if len(f.Payload) > 0 && fp.RNG.Bool(fp.CorruptP) {
-			payload := append([]byte(nil), f.Payload...)
-			payload[fp.RNG.Intn(len(payload))] ^= 0xff
-			f.Payload = payload
+			f.Payload[fp.RNG.Intn(len(f.Payload))] ^= 0xff
 			p.FaultCorrupted++
 		}
 		if fp.RNG.Bool(fp.DupP) {
 			p.FaultDuplicated++
-			p.transmit(f)
+			// Both duplicates share the buffer, as they share a payload slice
+			// before the refactor.
+			p.transmit(f, pb.Retain())
 		}
 	}
-	p.transmit(f)
+	p.transmit(f, pb)
 }
 
 // transmit is the fault-free wire path: serialise on the cable, deliver to
 // the peer after airtime plus propagation.
-func (p *Port) transmit(f Frame) {
+func (p *Port) transmit(f Frame, pb *pkt.Buf) {
 	txTime := sim.Time(math.Round(float64(f.WireLen()*8) / p.bitsPerSec * float64(sim.Second)))
 	start := p.kernel.Now()
 	if p.busyUntil > start {
@@ -138,19 +166,19 @@ func (p *Port) transmit(f Frame) {
 	p.TxFrames++
 	p.TxBytes += uint64(f.WireLen())
 	peer := p.peer
-	p.kernel.At(end+p.propDelay, func() { peer.deliver(f) })
+	p.kernel.Schedule(end+p.propDelay, func() { peer.deliver(f, pb) })
 }
 
-func (p *Port) deliver(f Frame) {
+func (p *Port) deliver(f Frame, pb *pkt.Buf) {
 	p.RxFrames++
 	p.RxBytes += uint64(f.WireLen())
-	if p.recv == nil {
-		return
-	}
-	if p.promiscuous || f.Dst == p.mac || f.Dst.IsMulticast() {
+	if p.recv != nil && (p.promiscuous || f.Dst == p.mac || f.Dst.IsMulticast()) {
 		p.kernel.MixDigest("eth/rx", f.Payload)
+		// The payload is a transient view: it is valid only for the duration
+		// of this callback. Receivers that keep bytes must copy.
 		p.recv(f)
 	}
+	pb.Release()
 }
 
 var _ NIC = (*Port)(nil)

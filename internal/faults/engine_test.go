@@ -120,7 +120,9 @@ func TestEngineWireCorruptionAndDup(t *testing.T) {
 	mustInstall(t, e, "corrupt@1s+2s(p=1);dup@4s+2s(p=1)")
 
 	var rx [][]byte
-	pb.SetReceiver(func(f ethernet.Frame) { rx = append(rx, f.Payload) })
+	// Delivered payloads are transient views of pooled buffers, valid only
+	// during the callback — copy before retaining (see DESIGN.md §9).
+	pb.SetReceiver(func(f ethernet.Frame) { rx = append(rx, append([]byte(nil), f.Payload...)) })
 	payload := []byte{1, 2, 3, 4}
 	send := func() { pa.Send(pb.HWAddr(), ethernet.TypeIPv4, payload) }
 	k.At(500*sim.Millisecond, send)  // clean

@@ -44,21 +44,30 @@ func (p *Packet) Len() int { return HeaderLen + len(p.Payload) }
 // Marshal serialises the packet with a fresh header checksum.
 func (p *Packet) Marshal() []byte {
 	b := make([]byte, p.Len())
+	p.putHeader(b[:HeaderLen], p.Len())
+	copy(b[HeaderLen:], p.Payload)
+	return b
+}
+
+// putHeader fills b (exactly HeaderLen bytes) with the packet's header for a
+// datagram of total bytes, computing a fresh checksum. Every byte is written,
+// so b may come from a recycled buffer.
+func (p *Packet) putHeader(b []byte, total int) {
 	b[0] = 0x45 // version 4, IHL 5
 	b[1] = p.TOS
-	binary.BigEndian.PutUint16(b[2:4], uint16(p.Len()))
+	binary.BigEndian.PutUint16(b[2:4], uint16(total))
 	binary.BigEndian.PutUint16(b[4:6], p.ID)
+	b[6], b[7] = 0, 0
 	if p.DF {
 		b[6] = 0x40
 	}
 	b[8] = p.TTL
 	b[9] = p.Proto
+	b[10], b[11] = 0, 0
 	copy(b[12:16], p.Src[:])
 	copy(b[16:20], p.Dst[:])
 	sum := inet.Checksum(b[:HeaderLen])
 	binary.BigEndian.PutUint16(b[10:12], sum)
-	copy(b[HeaderLen:], p.Payload)
-	return b
 }
 
 // Unmarshal errors.

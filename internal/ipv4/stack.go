@@ -7,6 +7,7 @@ import (
 	"repro/internal/arp"
 	"repro/internal/ethernet"
 	"repro/internal/inet"
+	pktbuf "repro/internal/pkt"
 	"repro/internal/sim"
 )
 
@@ -262,26 +263,75 @@ func (s *Stack) Send(src, dst inet.Addr, proto uint8, payload []byte) error {
 			return nil
 		}
 	}
-	return s.route(pkt, "")
+	return s.route(pkt, "", nil)
 }
 
-// route finds the egress and transmits (used by Send and forwarding).
-func (s *Stack) route(pkt *Packet, inIface string) error {
+// SendBuf originates a packet whose payload already sits in an owned pooled
+// buffer — the zero-copy transmit path. The IP header is pushed into the
+// buffer's headroom. Ownership of pb transfers to the stack: it is released
+// exactly once on every path, including errors.
+func (s *Stack) SendBuf(src, dst inet.Addr, proto uint8, pb *pktbuf.Buf) error {
+	if src.IsUnspecified() {
+		var err error
+		src, err = s.SrcAddrFor(dst)
+		if err != nil {
+			pb.Release()
+			return err
+		}
+	}
+	s.nextID++
+	pkt := &Packet{
+		ID: s.nextID, TTL: DefaultTTL, Proto: proto,
+		Src: src, Dst: dst, Payload: pb.Bytes(),
+	}
+	if s.runHooks(HookOutput, pkt, "", "") == VerdictDrop {
+		pb.Release()
+		return fmt.Errorf("ipv4: packet dropped by OUTPUT hook")
+	}
+	// Own unicast destination: deliver without touching the wire. The
+	// payload stays valid for the duration of the synchronous delivery.
+	for _, ifc := range s.ifaces {
+		if ifc.Addr == pkt.Dst {
+			s.kernel.ScheduleAfter(0, func() {
+				s.deliverLocal(pkt, "lo")
+				pb.Release()
+			})
+			return nil
+		}
+	}
+	return s.route(pkt, "", pb)
+}
+
+// route finds the egress and transmits (used by Send, SendBuf, and
+// forwarding). pb, when non-nil, is an owned pooled buffer whose view is
+// pkt.Payload; route takes ownership, pushes the IP header into its headroom,
+// and releases it on every failure path. When pb is nil the payload is copied
+// into a fresh pooled buffer at transmit time.
+func (s *Stack) route(pkt *Packet, inIface string, pb *pktbuf.Buf) error {
+	release := func() {
+		if pb != nil {
+			pb.Release()
+		}
+	}
 	if s.partitioned {
 		s.PartitionDrops++
+		release()
 		return fmt.Errorf("ipv4: %s is partitioned", s.name)
 	}
 	r, ok := s.LookupRoute(pkt.Dst)
 	if !ok {
 		s.NoRoute++
+		release()
 		return fmt.Errorf("ipv4: no route to %s", pkt.Dst)
 	}
 	ifc := s.Iface(r.Iface)
 	if ifc == nil {
 		s.NoRoute++
+		release()
 		return fmt.Errorf("ipv4: route via missing interface %q", r.Iface)
 	}
 	if s.runHooks(HookPostrouting, pkt, inIface, ifc.Name) == VerdictDrop {
+		release()
 		return fmt.Errorf("ipv4: packet dropped by POSTROUTING hook")
 	}
 	nextHop := pkt.Dst
@@ -289,18 +339,23 @@ func (s *Stack) route(pkt *Packet, inIface string) error {
 		nextHop = r.Gateway
 	}
 	s.TxPackets++
-	raw := pkt.Marshal()
+	if pb == nil {
+		pb = s.kernel.BufPool().GetCopy(pkt.Payload)
+	}
+	total := HeaderLen + pb.Len()
+	pkt.putHeader(pb.Push(HeaderLen), total)
 	// Subnet broadcast goes to the L2 broadcast address.
 	if pkt.Dst.IsBroadcast() || pkt.Dst == ifc.Prefix.BroadcastAddr() {
-		ifc.NIC.Send(ethernet.BroadcastMAC, ethernet.TypeIPv4, raw)
+		ifc.NIC.SendBuf(ethernet.BroadcastMAC, ethernet.TypeIPv4, pb)
 		return nil
 	}
 	ifc.ARP.Resolve(nextHop, func(mac ethernet.MAC, err error) {
 		if err != nil {
 			s.kernel.Tracef("ipv4", "%s: arp for %s failed: %v", s.name, nextHop, err)
+			pb.Release()
 			return
 		}
-		ifc.NIC.Send(mac, ethernet.TypeIPv4, raw)
+		ifc.NIC.SendBuf(mac, ethernet.TypeIPv4, pb)
 	})
 	return nil
 }
@@ -354,7 +409,7 @@ func (s *Stack) onPacket(ifc *Iface, raw []byte) {
 	if s.runHooks(HookForward, p, ifc.Name, "") == VerdictDrop {
 		return
 	}
-	if err := s.route(p, ifc.Name); err == nil {
+	if err := s.route(p, ifc.Name, nil); err == nil {
 		s.Forwarded++
 	}
 }

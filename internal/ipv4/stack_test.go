@@ -214,7 +214,7 @@ func TestTTLExpiry(t *testing.T) {
 	pkt := &Packet{ID: 1, TTL: 1, Proto: ProtoICMP,
 		Src: inet.MustParseAddr("10.0.1.2"), Dst: inet.MustParseAddr("10.0.2.2"),
 		Payload: m.Marshal()}
-	if err := a.route(pkt, ""); err != nil {
+	if err := a.route(pkt, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	k.Run()

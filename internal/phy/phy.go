@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/pkt"
 	"repro/internal/sim"
 )
 
@@ -151,6 +152,12 @@ type Medium struct {
 	burst    *BurstLoss
 	burstBad bool
 
+	// freeTx is the LIFO freelist of recycled transmission structs. A
+	// transmission is recycled only once its own completion has run and no
+	// other live transmission's overlaps list references it (pins == 0), so
+	// reuse order is a pure function of the event sequence.
+	freeTx []*transmission
+
 	// Stats.
 	Transmissions uint64
 	Deliveries    uint64
@@ -165,9 +172,21 @@ type transmission struct {
 	start, end sim.Time
 	powerDBm   float64
 	data       []byte
+	// buf owns the bytes data views; the medium releases it when the
+	// transmission completes.
+	buf  *pkt.Buf
+	rate Rate
+	air  sim.Time
 	// overlaps lists transmissions whose air occupancy intersects this
 	// one's; maintained symmetrically as transmissions start.
 	overlaps []*transmission
+	// pins counts live transmissions whose overlaps list references this
+	// one; done records that complete has run. Both gate recycling.
+	pins int
+	done bool
+	// completeFn is the completion closure, bound once per struct so
+	// recycled transmissions do not re-allocate it.
+	completeFn func()
 }
 
 // NewMedium creates an empty medium on the kernel.
@@ -367,52 +386,94 @@ func (r *Radio) CarrierBusy() bool {
 	return false
 }
 
-// Send transmits data at the given rate on the radio's channel. Transmissions
-// from one radio serialise; the medium handles loss and collisions. The
-// returned time is when the transmission ends.
+// Send transmits data at the given rate on the radio's channel. It adopts
+// the slice as a non-pooled buffer; senders on the hot path use SendBuf.
 func (r *Radio) Send(data []byte, rate Rate) sim.Time {
+	return r.SendBuf(pkt.Wrap(data), rate)
+}
+
+// SendBuf transmits the packet buffer's view at the given rate on the
+// radio's channel, taking ownership of pb (the medium releases it when the
+// transmission leaves the air, on every path). Transmissions from one radio
+// serialise; the medium handles loss and collisions. The returned time is
+// when the transmission ends.
+func (r *Radio) SendBuf(pb *pkt.Buf, rate Rate) sim.Time {
 	m := r.medium
 	now := m.kernel.Now()
 	if r.down {
 		// The frame leaves the MAC and dies in the dead hardware; report
 		// the airtime it would have taken so senders' pacing still works.
 		r.TxWhileDown++
-		return now + Airtime(len(data), rate)
+		end := now + Airtime(pb.Len(), rate)
+		pb.Release()
+		return end
 	}
 	start := now
 	if r.sendBusy > start {
 		start = r.sendBusy
 	}
-	air := Airtime(len(data), rate)
+	air := Airtime(pb.Len(), rate)
 	end := start + air
 	r.sendBusy = end
 	r.TxFrames++
 	m.Transmissions++
 
-	tx := &transmission{src: r, channel: r.channel, start: start, end: end, powerDBm: r.txPower, data: data}
+	tx := m.getTx()
+	tx.src, tx.channel, tx.start, tx.end = r, r.channel, start, end
+	tx.powerDBm, tx.data, tx.buf, tx.rate, tx.air = r.txPower, pb.Bytes(), pb, rate, air
 	for _, t := range m.active {
 		if t.end > start && t.start < end {
 			t.overlaps = append(t.overlaps, tx)
+			tx.pins++
 			tx.overlaps = append(tx.overlaps, t)
+			t.pins++
 		}
 	}
 	m.active = append(m.active, tx)
-	m.kernel.At(end, func() {
-		m.complete(tx, rate, air)
-	})
+	m.kernel.Schedule(end, tx.completeFn)
 	return end
+}
+
+// getTx pops a recycled transmission or allocates a fresh one, binding its
+// completion closure exactly once.
+func (m *Medium) getTx() *transmission {
+	if n := len(m.freeTx); n > 0 {
+		tx := m.freeTx[n-1]
+		m.freeTx = m.freeTx[:n-1]
+		tx.pins, tx.done = 0, false
+		return tx
+	}
+	tx := &transmission{}
+	tx.completeFn = func() { m.complete(tx) }
+	return tx
+}
+
+// putTx returns a finished transmission to the freelist. The buffer was
+// already released by complete; drop the remaining references so the pool
+// does not pin them.
+func (m *Medium) putTx(tx *transmission) {
+	tx.src, tx.data, tx.buf = nil, nil, nil
+	tx.overlaps = tx.overlaps[:0]
+	m.freeTx = append(m.freeTx, tx)
 }
 
 // complete runs at a transmission's end time: it evaluates reception at each
 // candidate radio and prunes the active list.
-func (m *Medium) complete(tx *transmission, rate Rate, air sim.Time) {
+func (m *Medium) complete(tx *transmission) {
+	rate, air := tx.rate, tx.air
+	// The Release receiver is bound here, before retire can recycle tx.
+	defer tx.buf.Release()
+	defer m.retire(tx)
 	now := m.kernel.Now()
 	overlaps := tx.overlaps
-	kept := make([]*transmission, 0, len(m.active))
+	kept := m.active[:0]
 	for _, t := range m.active {
 		if t != tx && t.end > now {
 			kept = append(kept, t)
 		}
+	}
+	for i := len(kept); i < len(m.active); i++ {
+		m.active[i] = nil
 	}
 	m.active = kept
 
@@ -468,6 +529,21 @@ func (m *Medium) complete(tx *transmission, rate Rate, air sim.Time) {
 			Rate: rate, At: now, Airtime: air, Src: tx.src,
 		}
 		rx.recv(tx.data, info)
+	}
+}
+
+// retire marks tx finished and recycles every transmission that is no longer
+// referenced: tx itself, and any overlap partner whose last pin this was.
+func (m *Medium) retire(tx *transmission) {
+	tx.done = true
+	for _, o := range tx.overlaps {
+		o.pins--
+		if o.done && o.pins == 0 {
+			m.putTx(o)
+		}
+	}
+	if tx.pins == 0 {
+		m.putTx(tx)
 	}
 }
 

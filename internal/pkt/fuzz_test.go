@@ -1,0 +1,91 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPktPushPop drives a pooled buffer through an arbitrary op sequence —
+// pushes past the headroom (forcing growth reallocation), nested push/pop and
+// extend/trim round-trips, and Retain/Release churn — while mirroring every
+// mutation in a plain []byte model. Any divergence between the buffer's view
+// and the model, any unexpected panic, or an unbalanced refcount at the end
+// fails the target. Poison mode is on so a freelist corruption also trips.
+func FuzzPktPushPop(f *testing.F) {
+	f.Add([]byte{})
+	// Nested push/pop round-trip.
+	f.Add([]byte{0, 4, 0, 8, 1, 8, 1, 4})
+	// Push far past DefaultHeadroom to force growth.
+	f.Add([]byte{0, 200, 0, 200, 1, 100})
+	// Extend/trim churn at the tail.
+	f.Add([]byte{2, 16, 3, 8, 2, 32, 3, 40})
+	// Retain/Release balance with mutation in between.
+	f.Add([]byte{4, 0, 0, 10, 5, 0, 1, 5})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		p := NewPool()
+		p.SetPoison(true)
+		b := p.Get()
+		refs := 1
+		var model []byte
+		fill := byte(1)
+		for i := 0; i+1 < len(ops); i += 2 {
+			op, arg := ops[i]%6, int(ops[i+1])
+			switch op {
+			case 0: // push
+				h := b.Push(arg)
+				for j := range h {
+					h[j] = fill
+				}
+				model = append(bytes.Repeat([]byte{fill}, arg), model...)
+				fill++
+			case 1: // pop
+				if arg > len(model) {
+					arg = len(model)
+				}
+				got := b.Pop(arg)
+				if !bytes.Equal(got, model[:arg]) {
+					t.Fatalf("op %d: pop %q, model %q", i, got, model[:arg])
+				}
+				model = model[arg:]
+			case 2: // extend
+				tail := b.Extend(arg)
+				for j := range tail {
+					tail[j] = fill
+				}
+				model = append(model, bytes.Repeat([]byte{fill}, arg)...)
+				fill++
+			case 3: // trim
+				if arg > len(model) {
+					arg = len(model)
+				}
+				b.Trim(arg)
+				model = model[:len(model)-arg]
+			case 4: // retain
+				if refs < 8 {
+					b.Retain()
+					refs++
+				}
+			case 5: // release (keep one ref so the buffer stays usable)
+				if refs > 1 {
+					b.Release()
+					refs--
+				}
+			}
+			if !bytes.Equal(b.Bytes(), model) {
+				t.Fatalf("op %d: view %q != model %q", i, b.Bytes(), model)
+			}
+			if b.Len() != len(model) || b.Headroom() < 0 || b.Tailroom() < 0 {
+				t.Fatalf("op %d: geometry len=%d headroom=%d tailroom=%d model=%d",
+					i, b.Len(), b.Headroom(), b.Tailroom(), len(model))
+			}
+		}
+		for ; refs > 0; refs-- {
+			b.Release()
+		}
+		if s := p.Stats(); s.Puts != 1 {
+			t.Fatalf("puts = %d after final release, want 1", s.Puts)
+		}
+		// Reissue: panics here mean the op sequence corrupted the freelist.
+		p.Get().Release()
+	})
+}

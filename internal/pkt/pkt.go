@@ -1,0 +1,187 @@
+// Package pkt provides the pooled packet buffer the simulation's
+// encapsulation path runs on: a single backing array per frame with reserved
+// headroom and tailroom, so each protocol layer pushes or pops its header in
+// place instead of re-marshalling into a fresh allocation at every hop
+// (skbuff-style, sized for the repository's deepest stack:
+// dot11+WEP+LLC+IPv4+TCP).
+//
+// Buffers are reference-counted with an explicit Retain/Release lifecycle and
+// recycled through a per-kernel Pool freelist. There is deliberately no
+// sync.Pool here: the kernel is single-goroutine, and a plain LIFO freelist
+// keeps buffer identity (and therefore any accidental aliasing bug) a pure
+// function of the event sequence, so runs stay bit-for-bit reproducible.
+//
+// Ownership contract (see DESIGN.md §9): APIs that accept a *Buf take
+// ownership and release it exactly once — callers that need the bytes after
+// handing a buffer off must Retain first. Delivered payloads are transient
+// views into a buffer owned by the delivering layer, valid only for the
+// duration of the synchronous callback.
+package pkt
+
+import "fmt"
+
+// DefaultHeadroom is the space reserved at the front of a pooled buffer for
+// headers pushed by lower layers. Sized for the deepest header chain in the
+// repository: IPv4 (20) + LLC/SNAP (8) + WEP (4) + 802.11 MAC (24) = 56,
+// with slack for future options.
+const DefaultHeadroom = 96
+
+// defaultSize is the pooled backing-array size: DefaultHeadroom plus the
+// largest frame the simulation ever builds (a WEP-sealed 1500-byte MTU data
+// frame is 1540 bytes on the air), rounded up with tailroom to spare.
+const defaultSize = 2048
+
+// Buf is a packet buffer: a view [off:end) into a backing array with free
+// headroom before the view and tailroom after it.
+type Buf struct {
+	data []byte
+	off  int
+	end  int
+	refs int
+	pool *Pool // nil for Wrap'd buffers
+}
+
+// Wrap adopts an existing byte slice as a non-pooled buffer with no headroom.
+// Release on a wrapped buffer just drops the reference; the slice is returned
+// to the garbage collector, never to a pool.
+func Wrap(b []byte) *Buf {
+	return &Buf{data: b, off: 0, end: len(b), refs: 1}
+}
+
+func (b *Buf) live() {
+	if b.refs <= 0 {
+		panic("pkt: use of released buffer")
+	}
+}
+
+// Bytes returns the buffer's current view. The slice aliases the backing
+// array: it is invalidated by Push/Pop/Extend/Trim and must not outlive the
+// buffer's last reference.
+func (b *Buf) Bytes() []byte {
+	b.live()
+	return b.data[b.off:b.end]
+}
+
+// Len reports the view length.
+func (b *Buf) Len() int {
+	b.live()
+	return b.end - b.off
+}
+
+// Headroom reports the free space before the view.
+func (b *Buf) Headroom() int {
+	b.live()
+	return b.off
+}
+
+// Tailroom reports the free space after the view.
+func (b *Buf) Tailroom() int {
+	b.live()
+	return len(b.data) - b.end
+}
+
+// Push grows the view at the front by n bytes and returns the new front —
+// the slot an encapsulating layer writes its header into. If the headroom is
+// exhausted the backing array is reallocated with fresh headroom (the growth
+// size is a pure function of the request, keeping runs deterministic).
+func (b *Buf) Push(n int) []byte {
+	b.live()
+	if n < 0 {
+		panic("pkt: negative push")
+	}
+	if n > b.off {
+		b.grow(n-b.off+DefaultHeadroom, 0)
+	}
+	b.off -= n
+	return b.data[b.off : b.off+n]
+}
+
+// Pop shrinks the view at the front by n bytes and returns the removed
+// header. The returned slice stays valid (it aliases headroom) until the
+// next Push or Release.
+func (b *Buf) Pop(n int) []byte {
+	b.live()
+	if n < 0 || n > b.end-b.off {
+		panic(fmt.Sprintf("pkt: pop %d from %d-byte view", n, b.end-b.off))
+	}
+	h := b.data[b.off : b.off+n]
+	b.off += n
+	return h
+}
+
+// Peek returns the first n bytes of the view without consuming them.
+func (b *Buf) Peek(n int) []byte {
+	b.live()
+	if n < 0 || n > b.end-b.off {
+		panic(fmt.Sprintf("pkt: peek %d of %d-byte view", n, b.end-b.off))
+	}
+	return b.data[b.off : b.off+n]
+}
+
+// Extend grows the view at the tail by n bytes and returns the new tail —
+// the slot a trailer (e.g. the WEP ICV) is written into. Reallocates when
+// tailroom is exhausted.
+func (b *Buf) Extend(n int) []byte {
+	b.live()
+	if n < 0 {
+		panic("pkt: negative extend")
+	}
+	if n > len(b.data)-b.end {
+		b.grow(0, n-(len(b.data)-b.end)+DefaultHeadroom)
+	}
+	b.end += n
+	return b.data[b.end-n : b.end]
+}
+
+// Trim shrinks the view at the tail by n bytes.
+func (b *Buf) Trim(n int) {
+	b.live()
+	if n < 0 || n > b.end-b.off {
+		panic(fmt.Sprintf("pkt: trim %d from %d-byte view", n, b.end-b.off))
+	}
+	b.end -= n
+}
+
+// Append copies p onto the tail of the view.
+func (b *Buf) Append(p []byte) {
+	copy(b.Extend(len(p)), p)
+}
+
+// grow reallocates the backing array with at least frontExtra more headroom
+// and tailExtra more tailroom, preserving the view's contents.
+func (b *Buf) grow(frontExtra, tailExtra int) {
+	n := b.end - b.off
+	newOff := b.off + frontExtra
+	nd := make([]byte, len(b.data)+frontExtra+tailExtra)
+	copy(nd[newOff:], b.data[b.off:b.end])
+	b.data = nd
+	b.off = newOff
+	b.end = newOff + n
+}
+
+// Retain adds a reference and returns the buffer, so a sender can keep a
+// frame alive across the transfer of ownership to a lower layer:
+//
+//	radio.SendBuf(job.pb.Retain(), rate) // phy releases its ref; job keeps its own
+func (b *Buf) Retain() *Buf {
+	b.live()
+	b.refs++
+	return b
+}
+
+// Release drops one reference. When the last reference goes, a pooled buffer
+// returns to its pool's freelist (and is poisoned first when the pool's
+// debug mode is on); a wrapped buffer is simply left to the GC. Releasing
+// more times than Retain+1 panics.
+func (b *Buf) Release() {
+	if b.refs <= 0 {
+		panic("pkt: release of already-released buffer")
+	}
+	b.refs--
+	if b.refs == 0 && b.pool != nil {
+		b.pool.put(b)
+	}
+}
+
+// Refs reports the current reference count (tests, leak checks).
+func (b *Buf) Refs() int { return b.refs }

@@ -1,0 +1,196 @@
+package pkt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPushPopRoundTrip(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	b.Append([]byte("payload"))
+
+	copy(b.Push(4), "ipv4")
+	copy(b.Push(3), "llc")
+	if got := string(b.Bytes()); got != "llcipv4payload" {
+		t.Fatalf("after pushes: %q", got)
+	}
+	if got := string(b.Pop(3)); got != "llc" {
+		t.Fatalf("pop header: %q", got)
+	}
+	if got := string(b.Peek(4)); got != "ipv4" {
+		t.Fatalf("peek header: %q", got)
+	}
+	if got := string(b.Pop(4)); got != "ipv4" {
+		t.Fatalf("pop header: %q", got)
+	}
+	if got := string(b.Bytes()); got != "payload" {
+		t.Fatalf("after pops: %q", got)
+	}
+	b.Release()
+}
+
+func TestExtendTrim(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	b.Append([]byte("body"))
+	copy(b.Extend(4), "icv!")
+	if got := string(b.Bytes()); got != "bodyicv!" {
+		t.Fatalf("after extend: %q", got)
+	}
+	b.Trim(4)
+	if got := string(b.Bytes()); got != "body" {
+		t.Fatalf("after trim: %q", got)
+	}
+	b.Release()
+}
+
+func TestPushGrowsHeadroom(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	b.Append([]byte("x"))
+	// Exhaust the headroom, then push past it.
+	b.Push(b.Headroom())
+	big := b.Push(10)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if b.Len() != 1+DefaultHeadroom+10 {
+		t.Fatalf("len after growth: %d", b.Len())
+	}
+	if b.Headroom() < DefaultHeadroom {
+		t.Fatalf("growth reserved %d headroom, want >= %d", b.Headroom(), DefaultHeadroom)
+	}
+	got := b.Bytes()
+	if !bytes.Equal(got[:10], []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}) || got[len(got)-1] != 'x' {
+		t.Fatalf("content lost across growth: %v", got)
+	}
+	b.Release()
+	// The grown backing array is non-canonical and must not be pooled.
+	if s := p.Stats(); s.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", s.Dropped)
+	}
+}
+
+func TestExtendGrowsTailroom(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	n := b.Tailroom() + 5
+	tail := b.Extend(n)
+	if len(tail) != n {
+		t.Fatalf("extend returned %d bytes, want %d", len(tail), n)
+	}
+	if b.Tailroom() < 0 {
+		t.Fatalf("negative tailroom")
+	}
+	b.Release()
+}
+
+func TestRetainRelease(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	if b.Retain() != b {
+		t.Fatal("Retain must return the same buffer")
+	}
+	b.Release()
+	if b.Refs() != 1 {
+		t.Fatalf("refs = %d, want 1", b.Refs())
+	}
+	b.Release()
+	if s := p.Stats(); s.Puts != 1 {
+		t.Fatalf("puts = %d, want 1", s.Puts)
+	}
+}
+
+func TestPoolReuseIsLIFO(t *testing.T) {
+	p := NewPool()
+	a := p.Get()
+	a.Release()
+	b := p.Get()
+	if a != b {
+		t.Fatal("freelist must reissue the most recently released buffer")
+	}
+	if s := p.Stats(); s.Reuses != 1 {
+		t.Fatalf("reuses = %d, want 1", s.Reuses)
+	}
+	b.Release()
+}
+
+func TestUseAfterReleasePanics(t *testing.T) {
+	p := NewPool()
+	b := p.Get()
+	b.Release()
+	mustPanic(t, "use of released", func() { b.Bytes() })
+	mustPanic(t, "already-released", func() { b.Release() })
+}
+
+func TestPopPastViewPanics(t *testing.T) {
+	b := Wrap([]byte("ab"))
+	mustPanic(t, "pop", func() { b.Pop(3) })
+	mustPanic(t, "peek", func() { b.Peek(3) })
+	mustPanic(t, "trim", func() { b.Trim(3) })
+	b.Release()
+}
+
+func TestWrap(t *testing.T) {
+	raw := []byte("hello")
+	b := Wrap(raw)
+	if !bytes.Equal(b.Bytes(), raw) || b.Headroom() != 0 {
+		t.Fatalf("wrap view: %q headroom %d", b.Bytes(), b.Headroom())
+	}
+	b.Pop(2)
+	if got := string(b.Bytes()); got != "llo" {
+		t.Fatalf("after pop: %q", got)
+	}
+	b.Release() // no pool: must not panic, just drops the ref
+}
+
+// TestPoisonCatchesUseAfterRelease proves the debug mode detects a deliberate
+// violation: writing through a Bytes() view captured before Release corrupts
+// the poisoned freelist buffer, and the next Get panics.
+func TestPoisonCatchesUseAfterRelease(t *testing.T) {
+	p := NewPool()
+	p.SetPoison(true)
+
+	b := p.Get()
+	b.Append([]byte("secret"))
+	stale := b.Bytes() // illegally kept past Release
+	b.Release()
+
+	if s := p.Stats(); s.Poisoned != 1 {
+		t.Fatalf("poisoned = %d, want 1", s.Poisoned)
+	}
+	for i, c := range stale {
+		if c != poison {
+			t.Fatalf("freed byte %d = %#x, want poison %#x", i, c, poison)
+		}
+	}
+
+	stale[0] = 'X' // the violation
+	mustPanic(t, "use-after-release", func() { p.Get() })
+}
+
+func TestPoisonCleanReuseDoesNotPanic(t *testing.T) {
+	p := NewPool()
+	p.SetPoison(true)
+	b := p.Get()
+	b.Append([]byte("data"))
+	b.Release()
+	b = p.Get() // must not panic: nothing touched the freed buffer
+	b.Release()
+}
+
+func mustPanic(t *testing.T, substr string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q", substr)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v, want substring %q", r, substr)
+		}
+	}()
+	fn()
+}

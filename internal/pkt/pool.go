@@ -1,0 +1,117 @@
+package pkt
+
+// poison is the sentinel byte freed buffers are filled with when the pool's
+// debug mode is on. 0xA5 is unlikely to be a valid header byte in any of the
+// simulated protocols, so a use-after-release shows up as garbage fast even
+// when the panic guard is bypassed by a stale Bytes() view.
+const poison = 0xA5
+
+// PoolStats counts pool traffic for tests and leak diagnosis.
+type PoolStats struct {
+	Gets     uint64 // buffers handed out
+	Reuses   uint64 // gets satisfied from the freelist
+	Puts     uint64 // buffers returned
+	Dropped  uint64 // returned buffers discarded (non-canonical backing size)
+	Poisoned uint64 // buffers poisoned on return (debug mode)
+}
+
+// Pool recycles packet buffers through a LIFO freelist. It is not safe for
+// concurrent use; each sim kernel owns one, matching the kernel's
+// single-goroutine execution model, and LIFO reuse keeps buffer identity
+// deterministic across runs.
+type Pool struct {
+	free   []*Buf
+	poison bool
+	stats  PoolStats
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// SetPoison toggles poison-on-release debugging: freed buffers are
+// overwritten with a sentinel and verified still-poisoned when reissued, so a
+// write through a stale view panics at the next Get instead of silently
+// corrupting a later frame.
+func (p *Pool) SetPoison(on bool) { p.poison = on }
+
+// Stats returns a snapshot of the pool's counters.
+func (p *Pool) Stats() PoolStats { return p.stats }
+
+// Get returns an empty buffer (refs=1) with DefaultHeadroom reserved.
+func (p *Pool) Get() *Buf {
+	p.stats.Gets++
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		p.stats.Reuses++
+		if p.poison {
+			p.checkPoison(b)
+		}
+		b.off = DefaultHeadroom
+		b.end = DefaultHeadroom
+		b.refs = 1
+		return b
+	}
+	return &Buf{
+		data: make([]byte, defaultSize),
+		off:  DefaultHeadroom,
+		end:  DefaultHeadroom,
+		refs: 1,
+		pool: p,
+	}
+}
+
+// GetCopy returns a buffer whose view is a copy of b.
+func (p *Pool) GetCopy(b []byte) *Buf {
+	pb := p.Get()
+	copy(pb.Extend(len(b)), b)
+	return pb
+}
+
+// put returns a buffer to the freelist. Buffers whose backing array was
+// reallocated by headroom/tailroom growth no longer match the canonical size
+// and are dropped, keeping the pool's memory footprint bounded and every
+// pooled buffer interchangeable.
+func (p *Pool) put(b *Buf) {
+	p.stats.Puts++
+	if len(b.data) != defaultSize {
+		p.stats.Dropped++
+		return
+	}
+	if p.poison {
+		for i := range b.data {
+			b.data[i] = poison
+		}
+		p.stats.Poisoned++
+	}
+	b.off = 0
+	b.end = 0
+	p.free = append(p.free, b)
+}
+
+// checkPoison panics if any byte of a freed buffer changed while it sat on
+// the freelist — evidence that a stale view wrote through after Release.
+func (p *Pool) checkPoison(b *Buf) {
+	for i, c := range b.data {
+		if c != poison {
+			panic("pkt: freed buffer modified while pooled (use-after-release write at offset " +
+				itoa(i) + ")")
+		}
+	}
+}
+
+// itoa avoids pulling strconv into the panic path.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -32,8 +32,13 @@ func (k *Kernel) RegisterInvariant(name string, check func() error) {
 
 // SetInvariantChecks enables or disables running registered invariants at
 // every event boundary. Off by default: full checking is O(registered
-// checks) per event.
-func (k *Kernel) SetInvariantChecks(on bool) { k.checkInvariants = on }
+// checks) per event. Enabling checks also arms the packet pool's
+// poison-on-release mode, so a use-after-release write through a stale
+// buffer view panics at the next allocation instead of corrupting a frame.
+func (k *Kernel) SetInvariantChecks(on bool) {
+	k.checkInvariants = on
+	k.bufPool.SetPoison(on)
+}
 
 // InvariantChecksEnabled reports whether per-event checking is on.
 // Components can consult this at construction time to decide whether to

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math"
 	"time"
+
+	"repro/internal/pkt"
 )
 
 // Time is a virtual timestamp, measured as a duration since the simulation
@@ -64,6 +66,11 @@ type Event struct {
 	index int
 	// cancelled events remain in the heap but are skipped when popped.
 	cancelled bool
+	// pooled events came from the kernel freelist (Schedule/ScheduleAfter)
+	// and are recycled after firing. Events whose *Event handle escapes to a
+	// caller (At/After) are never pooled: the caller may hold the handle past
+	// the fire and a recycled struct would alias a live timer.
+	pooled bool
 }
 
 // When reports the virtual time at which the event is scheduled to fire.
@@ -137,12 +144,25 @@ type Kernel struct {
 	// OnViolation, if non-nil, receives invariant violations instead of the
 	// default panic. Tests install it to report violations as failures.
 	OnViolation func(*InvariantViolation)
+	// freeEvents is the freelist for pooled (handle-less) events. Plain LIFO,
+	// no sync.Pool: the kernel is single-goroutine and reuse order must be a
+	// pure function of the event sequence.
+	freeEvents []*Event
+	// eventAllocs/eventReuses count freelist traffic (tests, diagnostics).
+	eventAllocs uint64
+	eventReuses uint64
+	// bufPool recycles packet buffers for every layer running on this kernel.
+	bufPool *pkt.Pool
 }
 
 // NewKernel returns a kernel at t=0 whose random source is seeded with seed.
 func NewKernel(seed uint64) *Kernel {
-	return &Kernel{rng: NewRNG(seed), digest: newTraceDigest()}
+	return &Kernel{rng: NewRNG(seed), digest: newTraceDigest(), bufPool: pkt.NewPool()}
 }
+
+// BufPool returns the kernel's packet-buffer pool. Every layer running on
+// this kernel draws frame buffers from here so they recycle across hops.
+func (k *Kernel) BufPool() *pkt.Pool { return k.bufPool }
 
 // Now reports the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
@@ -181,6 +201,54 @@ func (k *Kernel) After(d Time, fn func()) *Event {
 	return k.At(k.now+d, fn)
 }
 
+// Schedule is the handle-less, pooled variant of At: the Event struct comes
+// from the kernel's freelist and returns to it right after fn fires, so
+// fire-and-forget call sites (frame deliveries, transmit completions) stop
+// allocating an Event per packet. Because the struct is recycled, Schedule
+// returns nothing — use At when the caller needs to Cancel.
+func (k *Kernel) Schedule(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: now=%v t=%v", k.now, t))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	e := k.getEvent()
+	e.when = t
+	e.seq = k.seq
+	e.fn = fn
+	e.pooled = true
+	k.seq++
+	heap.Push(&k.queue, e)
+}
+
+// ScheduleAfter is the handle-less, pooled variant of After.
+func (k *Kernel) ScheduleAfter(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	k.Schedule(k.now+d, fn)
+}
+
+// getEvent takes an Event from the freelist, or allocates one.
+func (k *Kernel) getEvent() *Event {
+	if n := len(k.freeEvents); n > 0 {
+		e := k.freeEvents[n-1]
+		k.freeEvents[n-1] = nil
+		k.freeEvents = k.freeEvents[:n-1]
+		k.eventReuses++
+		return e
+	}
+	k.eventAllocs++
+	return &Event{index: -1}
+}
+
+// EventAllocs reports how many pooled events were freshly allocated.
+func (k *Kernel) EventAllocs() uint64 { return k.eventAllocs }
+
+// EventReuses reports how many pooled events were served from the freelist.
+func (k *Kernel) EventReuses() uint64 { return k.eventReuses }
+
 // Stop halts Run/RunUntil after the currently executing event returns.
 func (k *Kernel) Stop() { k.stopped = true }
 
@@ -204,6 +272,12 @@ func (k *Kernel) step() bool {
 		k.fired++
 		k.mixEvent(e)
 		fn()
+		if e.pooled {
+			// Recycle after fn returns: nothing holds a handle to a pooled
+			// event, so the struct can be reissued by the next Schedule.
+			*e = Event{index: -1}
+			k.freeEvents = append(k.freeEvents, e)
+		}
 		if k.checkInvariants {
 			k.runInvariants()
 		}

@@ -66,14 +66,28 @@ func (s *segment) seqLen() uint32 {
 	return n
 }
 
+// headerLen is the serialised header size including options.
+func (s *segment) headerLen() int {
+	if s.syn() && s.mss != 0 {
+		return HeaderLen + 4 // MSS option: kind 2, len 4, value(2)
+	}
+	return HeaderLen
+}
+
+// wireLen is the serialised segment size.
+func (s *segment) wireLen() int { return s.headerLen() + len(s.payload) }
+
 // marshal serialises with the pseudo-header checksum.
 func (s *segment) marshal(src, dst inet.Addr) []byte {
-	optLen := 0
-	if s.syn() && s.mss != 0 {
-		optLen = 4 // MSS option: kind 2, len 4, value(2)
-	}
-	hdr := HeaderLen + optLen
-	b := make([]byte, hdr+len(s.payload))
+	b := make([]byte, s.wireLen())
+	s.marshalInto(b, src, dst)
+	return b
+}
+
+// marshalInto serialises into b, which must be exactly wireLen() bytes.
+// Every byte is written, so b may come from a recycled buffer.
+func (s *segment) marshalInto(b []byte, src, dst inet.Addr) {
+	hdr := s.headerLen()
 	binary.BigEndian.PutUint16(b[0:2], uint16(s.srcPort))
 	binary.BigEndian.PutUint16(b[2:4], uint16(s.dstPort))
 	binary.BigEndian.PutUint32(b[4:8], s.seq)
@@ -81,7 +95,9 @@ func (s *segment) marshal(src, dst inet.Addr) []byte {
 	b[12] = byte(hdr/4) << 4 // data offset
 	b[13] = s.flags
 	binary.BigEndian.PutUint16(b[14:16], s.window)
-	if optLen > 0 {
+	b[16], b[17] = 0, 0 // checksum placeholder
+	b[18], b[19] = 0, 0 // urgent pointer
+	if hdr > HeaderLen {
 		b[20], b[21] = 2, 4
 		binary.BigEndian.PutUint16(b[22:24], s.mss)
 	}
@@ -89,7 +105,6 @@ func (s *segment) marshal(src, dst inet.Addr) []byte {
 	sum := inet.PseudoHeaderSum(src, dst, ipv4.ProtoTCP, uint16(len(b)))
 	sum = inet.SumBytes(sum, b)
 	binary.BigEndian.PutUint16(b[16:18], inet.FinishChecksum(sum))
-	return b
 }
 
 var errBadSegment = errors.New("tcp: bad segment")

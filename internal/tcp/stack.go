@@ -185,9 +185,12 @@ func (s *Stack) removeConn(c *Conn) {
 	delete(s.conns, connKey{local: c.local, remote: c.remote})
 }
 
-// sendRaw emits a marshalled segment through IP.
+// sendRaw emits a marshalled segment through IP, serialising it into a
+// pooled buffer whose headroom the lower layers push their headers into.
 func (s *Stack) sendRaw(src, dst inet.Addr, seg segment) {
-	_ = s.ip.Send(src, dst, ipv4.ProtoTCP, seg.marshal(src, dst))
+	pb := s.ip.Kernel().BufPool().Get()
+	seg.marshalInto(pb.Extend(seg.wireLen()), src, dst)
+	_ = s.ip.SendBuf(src, dst, ipv4.ProtoTCP, pb)
 }
 
 // onPacket dispatches inbound segments.

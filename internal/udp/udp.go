@@ -24,9 +24,18 @@ type Datagram struct {
 // marshal serialises with the pseudo-header checksum.
 func (d *Datagram) marshal(src, dst inet.Addr) []byte {
 	b := make([]byte, HeaderLen+len(d.Payload))
+	d.marshalInto(b, src, dst)
+	return b
+}
+
+// marshalInto serialises into b, which must be exactly HeaderLen plus the
+// payload length. Every byte is written, so b may come from a recycled
+// buffer.
+func (d *Datagram) marshalInto(b []byte, src, dst inet.Addr) {
 	binary.BigEndian.PutUint16(b[0:2], uint16(d.SrcPort))
 	binary.BigEndian.PutUint16(b[2:4], uint16(d.DstPort))
 	binary.BigEndian.PutUint16(b[4:6], uint16(len(b)))
+	b[6], b[7] = 0, 0 // checksum placeholder
 	copy(b[HeaderLen:], d.Payload)
 	sum := inet.PseudoHeaderSum(src, dst, ipv4.ProtoUDP, uint16(len(b)))
 	sum = inet.SumBytes(sum, b)
@@ -35,7 +44,6 @@ func (d *Datagram) marshal(src, dst inet.Addr) []byte {
 		cs = 0xffff
 	}
 	binary.BigEndian.PutUint16(b[6:8], cs)
-	return b
 }
 
 // errBad reports an unparseable or corrupt datagram.
@@ -81,14 +89,17 @@ func (s *Socket) Port() inet.Port { return s.port }
 // SetReceiver installs the datagram callback.
 func (s *Socket) SetReceiver(r Receiver) { s.recv = r }
 
-// SendTo transmits a datagram to dst.
+// SendTo transmits a datagram to dst, serialising it into a pooled buffer
+// whose headroom the lower layers push their headers into.
 func (s *Socket) SendTo(dst inet.HostPort, payload []byte) error {
 	src, err := s.stack.ip.SrcAddrFor(dst.Addr)
 	if err != nil {
 		return err
 	}
 	d := Datagram{SrcPort: s.port, DstPort: dst.Port, Payload: payload}
-	return s.stack.ip.Send(src, dst.Addr, ipv4.ProtoUDP, d.marshal(src, dst.Addr))
+	pb := s.stack.ip.Kernel().BufPool().Get()
+	d.marshalInto(pb.Extend(HeaderLen+len(payload)), src, dst.Addr)
+	return s.stack.ip.SendBuf(src, dst.Addr, ipv4.ProtoUDP, pb)
 }
 
 // Close releases the port. Closing is idempotent, and closing a stale

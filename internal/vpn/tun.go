@@ -4,6 +4,7 @@ import (
 	"repro/internal/arp"
 	"repro/internal/ethernet"
 	"repro/internal/inet"
+	"repro/internal/pkt"
 )
 
 // TunnelMTU is the tun device MTU: small enough that a full inner packet
@@ -57,6 +58,15 @@ func (t *tunNIC) Send(dst ethernet.MAC, typ ethernet.EtherType, payload []byte) 
 			t.outbound(clampMSS(payload, InnerMSS))
 		}
 	}
+}
+
+// SendBuf sends a pooled buffer's view through Send. Both Send branches
+// consume the payload synchronously (the ARP reply is synthesised from the
+// request and outbound encrypts the packet into a sealed record), so the
+// buffer can be released as soon as Send returns.
+func (t *tunNIC) SendBuf(dst ethernet.MAC, typ ethernet.EtherType, pb *pkt.Buf) {
+	t.Send(dst, typ, pb.Bytes())
+	pb.Release()
 }
 
 // deliver injects a decrypted inner IP packet into the host stack as if it

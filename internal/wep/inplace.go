@@ -1,0 +1,56 @@
+package wep
+
+import "repro/internal/pkt"
+
+// maxKeySize bounds the stack space for per-frame keys (IV + WEP-128 key).
+const maxKeySize = IVLen + KeySize104
+
+// SealInPlace encrypts a packet buffer's view in place, producing bytes
+// identical to Seal: the IV and key-ID byte are pushed into the buffer's
+// headroom, the ICV is extended into its tailroom, and RC4 runs over the body
+// where it lies. Nothing is allocated: the per-frame RC4 state lives on the
+// stack (see RC4.Reset).
+func SealInPlace(key Key, iv IV, keyID byte, pb *pkt.Buf) {
+	if err := key.Validate(); err != nil {
+		panic(err)
+	}
+	icv := crc32ieee(pb.Bytes())
+	putLE32(pb.Extend(ICVLen), icv)
+	hdr := pb.Push(HeaderLen)
+	copy(hdr, iv[:])
+	hdr[IVLen] = keyID & 0x03
+	var perFrame [maxKeySize]byte
+	n := copy(perFrame[:], iv[:])
+	n += copy(perFrame[n:], key)
+	var c RC4
+	c.Reset(perFrame[:n])
+	body := pb.Bytes()[HeaderLen:]
+	c.XORKeyStream(body, body)
+}
+
+// OpenInPlace decrypts a sealed WEP payload where it lies, popping the
+// IV/key-ID header and trimming the ICV so the buffer's view becomes the
+// plaintext. On error the buffer's contents are unspecified (the body may be
+// half-transformed); the caller still owns it and must Release as usual.
+func OpenInPlace(key Key, pb *pkt.Buf) error {
+	if err := key.Validate(); err != nil {
+		return err
+	}
+	if pb.Len() < Overhead {
+		return ErrShort
+	}
+	hdr := pb.Pop(HeaderLen)
+	var perFrame [maxKeySize]byte
+	n := copy(perFrame[:], hdr[:IVLen])
+	n += copy(perFrame[n:], key)
+	var c RC4
+	c.Reset(perFrame[:n])
+	body := pb.Bytes()
+	c.XORKeyStream(body, body)
+	plaintext := body[:len(body)-ICVLen]
+	if crc32ieee(plaintext) != le32(body[len(plaintext):]) {
+		return ErrICV
+	}
+	pb.Trim(ICVLen)
+	return nil
+}

@@ -18,10 +18,20 @@ type RC4 struct {
 // NewRC4 initialises the cipher with key using the RC4 key-scheduling
 // algorithm (KSA). Key length must be 1..256 bytes.
 func NewRC4(key []byte) *RC4 {
+	c := &RC4{}
+	c.Reset(key)
+	return c
+}
+
+// Reset re-runs the KSA on an existing cipher state, so per-frame ciphers can
+// live on the stack instead of allocating:
+//
+//	var c RC4
+//	c.Reset(perFrameKey)
+func (c *RC4) Reset(key []byte) {
 	if len(key) == 0 || len(key) > 256 {
 		panic("wep: bad RC4 key size")
 	}
-	c := &RC4{}
 	for i := 0; i < 256; i++ {
 		c.s[i] = byte(i)
 	}
@@ -30,7 +40,7 @@ func NewRC4(key []byte) *RC4 {
 		j += c.s[i] + key[i%len(key)]
 		c.s[i], c.s[j] = c.s[j], c.s[i]
 	}
-	return c
+	c.i, c.j = 0, 0
 }
 
 // XORKeyStream XORs src with the cipher's keystream into dst. dst and src may

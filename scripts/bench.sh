@@ -1,0 +1,54 @@
+#!/bin/sh
+# scripts/bench.sh — run the root-package experiment benchmarks (E1–E12 and
+# the chaos digest matrix) once with allocation stats and emit a JSON
+# summary. Usage:
+#
+#   scripts/bench.sh [out.json [baseline.txt]]
+#
+# out.json defaults to BENCH_PR4.json. baseline.txt, when given, is a saved
+# `go test -bench` text output whose numbers are embedded per benchmark as
+# baseline_* fields, for before/after comparison across a change.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_PR4.json}
+BASELINE=${2:-}
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime 1x . | tee "$TMP"
+
+awk -v baseline="$BASELINE" '
+function bname(s) { sub(/^Benchmark/, "", s); sub(/-[0-9]+$/, "", s); return s }
+BEGIN {
+	if (baseline != "") {
+		while ((getline line < baseline) > 0) {
+			n = split(line, f, /[ \t]+/)
+			if (f[1] ~ /^Benchmark/ && f[4] == "ns/op") {
+				name = bname(f[1])
+				bns[name] = f[3]; bbytes[name] = f[5]; ballocs[name] = f[7]
+			}
+		}
+		close(baseline)
+	}
+	print "{"
+	print "  \"command\": \"go test -run ^$ -bench . -benchmem -benchtime 1x .\","
+	printf "  \"benchmarks\": ["
+	first = 1
+}
+$1 ~ /^Benchmark/ && $4 == "ns/op" {
+	name = bname($1)
+	if (!first) printf ","
+	first = 0
+	printf "\n    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
+		name, $3, $5, $7
+	if (name in bns)
+		printf ",\n     \"baseline_ns_per_op\": %s, \"baseline_bytes_per_op\": %s, \"baseline_allocs_per_op\": %s", \
+			bns[name], bbytes[name], ballocs[name]
+	printf "}"
+}
+END { print "\n  ]\n}" }
+' "$TMP" > "$OUT"
+
+echo "wrote $OUT"
