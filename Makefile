@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench simvet lint
+.PHONY: all build test race bench bench-check profile simvet lint
 
 all: build test
 
@@ -15,6 +15,17 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-check mirrors the CI bench-regression gate: fails on a >25% ns/op or
+# allocs/op regression of any E1–E12 benchmark vs the committed BENCH_PR5.json.
+bench-check:
+	sh scripts/bench_check.sh
+
+# profile writes CPU+alloc pprof profiles of the experiment suite; pass a
+# subset as RUN (e.g. `make profile RUN=e4`).
+RUN ?= all
+profile:
+	sh scripts/profile.sh $(RUN)
 
 # simvet is the repo's own determinism-and-safety linter (cmd/simvet).
 simvet:

@@ -40,29 +40,39 @@ func E10DeauthStorm(s Scale) Table {
 		{"cloned-BSSID rogue at 2 m", true, false},
 		{"cloned-BSSID rogue at 2 m", true, true},
 	}
+	type out struct {
+		assoc, onRogue bool
+		scans          uint64
+	}
+	type point struct {
+		sc   scenario
+		seed uint64
+	}
+	var points []point
 	for _, sc := range scenarios {
-		type out struct {
-			assoc, onRogue bool
-			scans          uint64
+		for _, seed := range core.Seeds(10, s.trials()) {
+			points = append(points, point{sc, seed})
 		}
-		results := core.Sweep(core.Seeds(10, s.trials()), func(seed uint64) out {
-			cfg := core.Config{
-				Seed:  seed,
-				APPos: phyPos(0), VictimPos: phyPos(40), RoguePos: phyPos(42),
-				Rogue: sc.rogue, RogueCloneBSSID: true, RoguePureRelay: true,
-			}
-			if sc.storm {
-				cfg.Faults = "deauth@5s+10s(interval=100ms)"
-			}
-			w := core.NewWorld(cfg)
-			w.VictimConnect()
-			w.Run(60 * sim.Second) // storm ends at 15 s; 45 s of recovery room
-			return out{assoc: w.VictimAssociated(), onRogue: w.VictimOnRogue(),
-				scans: w.Victim.STA.ScanCycles}
-		})
+	}
+	results := core.Sweep(points, func(p point) out {
+		cfg := core.Config{
+			Seed:  p.seed,
+			APPos: phyPos(0), VictimPos: phyPos(40), RoguePos: phyPos(42),
+			Rogue: p.sc.rogue, RogueCloneBSSID: true, RoguePureRelay: true,
+		}
+		if p.sc.storm {
+			cfg.Faults = "deauth@5s+10s(interval=100ms)"
+		}
+		w := core.NewWorld(cfg)
+		w.VictimConnect()
+		w.Run(60 * sim.Second) // storm ends at 15 s; 45 s of recovery room
+		return out{assoc: w.VictimAssociated(), onRogue: w.VictimOnRogue(),
+			scans: w.Victim.STA.ScanCycles}
+	})
+	for i, sc := range scenarios {
 		var assoc, onRogue []bool
 		var scans []float64
-		for _, r := range results {
+		for _, r := range results[i*s.trials() : (i+1)*s.trials()] {
 			assoc = append(assoc, r.assoc)
 			onRogue = append(onRogue, r.onRogue)
 			scans = append(scans, float64(r.scans))
@@ -104,38 +114,48 @@ func E11APOutage(s Scale) Table {
 		{"UDP", vpn.CarrierUDP, "apcrash@35s+3s"},
 		{"UDP", vpn.CarrierUDP, "apcrash@35s+20s"},
 	}
+	type out struct {
+		up, clean      bool
+		rekeys, pdeads float64
+	}
+	type point struct {
+		sc   scenario
+		seed uint64
+	}
+	var points []point
 	for _, sc := range scenarios {
-		type out struct {
-			up, clean      bool
-			rekeys, pdeads float64
+		for _, seed := range core.Seeds(11, s.trials()) {
+			points = append(points, point{sc, seed})
 		}
-		results := core.Sweep(core.Seeds(11, s.trials()), func(seed uint64) out {
-			cfg := core.Config{
-				Seed: seed, VictimPos: phyPos(20),
-				VPNServer: true, VPNCarrier: sc.carrier,
-				VPNKeepalive: 2 * sim.Second,
-				Faults:       sc.faults,
-			}
-			w := core.NewWorld(cfg)
-			w.VictimConnect()
-			w.Run(10 * sim.Second)
-			up := false
-			w.EnableVictimVPN(nil, func(err error) { up = err == nil })
-			w.Run(20 * sim.Second)
-			if !up {
-				return out{}
-			}
-			var res core.DownloadResult
-			w.VictimDownload(func(r core.DownloadResult) { res = r })
-			w.Run(90 * sim.Second) // outage ends by 55 s; ample recovery room
-			return out{
-				up: w.VictimVPN.Up(), clean: res.Clean(),
-				rekeys: float64(w.VictimVPN.Rekeys), pdeads: float64(w.VictimVPN.PeerTimeouts),
-			}
-		})
+	}
+	results := core.Sweep(points, func(p point) out {
+		cfg := core.Config{
+			Seed: p.seed, VictimPos: phyPos(20),
+			VPNServer: true, VPNCarrier: p.sc.carrier,
+			VPNKeepalive: 2 * sim.Second,
+			Faults:       p.sc.faults,
+		}
+		w := core.NewWorld(cfg)
+		w.VictimConnect()
+		w.Run(10 * sim.Second)
+		up := false
+		w.EnableVictimVPN(nil, func(err error) { up = err == nil })
+		w.Run(20 * sim.Second)
+		if !up {
+			return out{}
+		}
+		var res core.DownloadResult
+		w.VictimDownload(func(r core.DownloadResult) { res = r })
+		w.Run(90 * sim.Second) // outage ends by 55 s; ample recovery room
+		return out{
+			up: w.VictimVPN.Up(), clean: res.Clean(),
+			rekeys: float64(w.VictimVPN.Rekeys), pdeads: float64(w.VictimVPN.PeerTimeouts),
+		}
+	})
+	for i, sc := range scenarios {
 		var ups, cleans []bool
 		var rekeys, pdeads []float64
-		for _, r := range results {
+		for _, r := range results[i*s.trials() : (i+1)*s.trials()] {
 			ups = append(ups, r.up)
 			cleans = append(cleans, r.clean)
 			rekeys = append(rekeys, r.rekeys)
@@ -178,33 +198,43 @@ func E12BurstLoss(s Scale) Table {
 	for i := range file {
 		file[i] = byte(i * 7)
 	}
+	type out struct {
+		done, clean bool
+		secs        float64
+	}
+	type point struct {
+		faults string
+		seed   uint64
+	}
+	var points []point
 	for _, sc := range scenarios {
-		type out struct {
-			done, clean bool
-			secs        float64
+		for _, seed := range core.Seeds(12, s.trials()) {
+			points = append(points, point{sc.faults, seed})
 		}
-		results := core.Sweep(core.Seeds(12, s.trials()), func(seed uint64) out {
-			cfg := core.Config{Seed: seed, VictimPos: phyPos(20), Faults: sc.faults,
-				FileContents: file}
-			w := core.NewWorld(cfg)
-			w.VictimConnect()
-			w.Run(10 * sim.Second)
-			start := w.Kernel.Now()
-			var res core.DownloadResult
-			var doneAt sim.Time
-			w.VictimDownload(func(r core.DownloadResult) { res = r; doneAt = w.Kernel.Now() })
-			// Long run: under severe loss TCP's retransmission timer can back
-			// off past the fault window itself, so completion may land minutes
-			// after the air clears.
-			w.Run(5 * sim.Minute)
-			if res.Err != nil || doneAt == 0 {
-				return out{}
-			}
-			return out{done: true, clean: res.Clean(), secs: (doneAt - start).Seconds()}
-		})
+	}
+	results := core.Sweep(points, func(p point) out {
+		cfg := core.Config{Seed: p.seed, VictimPos: phyPos(20), Faults: p.faults,
+			FileContents: file}
+		w := core.NewWorld(cfg)
+		w.VictimConnect()
+		w.Run(10 * sim.Second)
+		start := w.Kernel.Now()
+		var res core.DownloadResult
+		var doneAt sim.Time
+		w.VictimDownload(func(r core.DownloadResult) { res = r; doneAt = w.Kernel.Now() })
+		// Long run: under severe loss TCP's retransmission timer can back
+		// off past the fault window itself, so completion may land minutes
+		// after the air clears.
+		w.Run(5 * sim.Minute)
+		if res.Err != nil || doneAt == 0 {
+			return out{}
+		}
+		return out{done: true, clean: res.Clean(), secs: (doneAt - start).Seconds()}
+	})
+	for i, sc := range scenarios {
 		var dones, cleans []bool
 		var secs []float64
-		for _, r := range results {
+		for _, r := range results[i*s.trials() : (i+1)*s.trials()] {
 			dones = append(dones, r.done)
 			cleans = append(cleans, r.clean)
 			if r.done {

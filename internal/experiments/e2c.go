@@ -43,52 +43,64 @@ func E2cContentInjection(s Scale) Table {
 		name string
 		vpn  bool
 	}
-	for _, p := range []policy{{"no VPN", false}, {"full VPN", true}} {
-		type out struct {
-			loaded, injected, intact bool
+	policies := []policy{{"no VPN", false}, {"full VPN", true}}
+	type out struct {
+		loaded, injected, intact bool
+	}
+	type point struct {
+		pol  policy
+		seed uint64
+	}
+	var points []point
+	for _, p := range policies {
+		for _, seed := range core.Seeds(21, s.trials()) {
+			points = append(points, point{p, seed})
 		}
-		results := core.Sweep(core.Seeds(21, s.trials()), func(seed uint64) out {
-			cfg := core.Config{
-				Seed: seed, Rogue: true, RogueCloneBSSID: true,
-				VPNServer: p.vpn,
-				ExtraNetsedRules: []string{
-					"s/" + injectedOver + "/" + escapeSlashes(evilScript) + "/1",
-				},
-				APPos:     phy.Position{X: 0, Y: 0},
-				VictimPos: phy.Position{X: 40, Y: 0},
-				RoguePos:  phy.Position{X: 42, Y: 0},
-			}
-			w := core.NewWorld(cfg)
-			w.WebServer.Handle("/news", func(req *httpx.Request) *httpx.Response {
-				return httpx.NewResponse(200, "text/html", newsHTML)
-			})
-			w.VictimConnect()
-			w.Run(10 * sim.Second)
-			if p.vpn {
-				up := false
-				w.EnableVictimVPN(nil, func(err error) { up = err == nil })
-				w.Run(20 * sim.Second)
-				if !up {
-					return out{}
-				}
-			}
-			var body []byte
-			var err error
-			w.VictimGet("/news", func(b []byte, e error) { body, err = b, e })
-			w.Run(30 * sim.Second)
-			if err != nil {
+	}
+	results := core.Sweep(points, func(pt point) out {
+		p := pt.pol
+		cfg := core.Config{
+			Seed: pt.seed, Rogue: true, RogueCloneBSSID: true,
+			VPNServer: p.vpn,
+			ExtraNetsedRules: []string{
+				"s/" + injectedOver + "/" + escapeSlashes(evilScript) + "/1",
+			},
+			APPos:     phy.Position{X: 0, Y: 0},
+			VictimPos: phy.Position{X: 40, Y: 0},
+			RoguePos:  phy.Position{X: 42, Y: 0},
+		}
+		w := core.NewWorld(cfg)
+		w.WebServer.Handle("/news", func(req *httpx.Request) *httpx.Response {
+			return httpx.NewResponse(200, "text/html", newsHTML)
+		})
+		w.VictimConnect()
+		w.Run(10 * sim.Second)
+		if p.vpn {
+			up := false
+			w.EnableVictimVPN(nil, func(err error) { up = err == nil })
+			w.Run(20 * sim.Second)
+			if !up {
 				return out{}
 			}
-			injected := bytes.Contains(body, []byte(evilScript))
-			restored := bytes.Replace(body, []byte(evilScript), []byte(injectedOver), 1)
-			return out{
-				loaded:   true,
-				injected: injected,
-				intact:   bytes.Equal(restored, newsHTML),
-			}
-		})
+		}
+		var body []byte
+		var err error
+		w.VictimGet("/news", func(b []byte, e error) { body, err = b, e })
+		w.Run(30 * sim.Second)
+		if err != nil {
+			return out{}
+		}
+		injected := bytes.Contains(body, []byte(evilScript))
+		restored := bytes.Replace(body, []byte(evilScript), []byte(injectedOver), 1)
+		return out{
+			loaded:   true,
+			injected: injected,
+			intact:   bytes.Equal(restored, newsHTML),
+		}
+	})
+	for i, p := range policies {
 		var loaded, injected, intact []bool
-		for _, r := range results {
+		for _, r := range results[i*s.trials() : (i+1)*s.trials()] {
 			loaded = append(loaded, r.loaded)
 			injected = append(injected, r.injected)
 			intact = append(intact, r.intact)

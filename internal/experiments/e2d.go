@@ -30,28 +30,38 @@ func E2dHostileHotspot(s Scale) Table {
 		{"hostile hotspot, no VPN", true, false},
 		{"hostile hotspot, full VPN home", true, true},
 	}
+	type point struct {
+		sc   scenario
+		seed uint64
+	}
+	var points []point
 	for _, sc := range scenarios {
-		results := core.Sweep(core.Seeds(31, s.trials()), func(seed uint64) core.DownloadResult {
-			h := core.NewHotspot(core.HotspotConfig{
-				Seed: seed, Hostile: sc.hostile, VPNServer: sc.vpn,
-			})
-			h.VictimConnect()
-			h.Run(10 * sim.Second)
-			if sc.vpn {
-				up := false
-				h.EnableVictimVPN(func(err error) { up = err == nil })
-				h.Run(20 * sim.Second)
-				if !up {
-					return core.DownloadResult{Err: errNoTunnel}
-				}
-			}
-			var res core.DownloadResult
-			h.VictimDownload(func(r core.DownloadResult) { res = r })
-			h.Run(60 * sim.Second)
-			return res
+		for _, seed := range core.Seeds(31, s.trials()) {
+			points = append(points, point{sc, seed})
+		}
+	}
+	results := core.Sweep(points, func(p point) core.DownloadResult {
+		h := core.NewHotspot(core.HotspotConfig{
+			Seed: p.seed, Hostile: p.sc.hostile, VPNServer: p.sc.vpn,
 		})
+		h.VictimConnect()
+		h.Run(10 * sim.Second)
+		if p.sc.vpn {
+			up := false
+			h.EnableVictimVPN(func(err error) { up = err == nil })
+			h.Run(20 * sim.Second)
+			if !up {
+				return core.DownloadResult{Err: errNoTunnel}
+			}
+		}
+		var res core.DownloadResult
+		h.VictimDownload(func(r core.DownloadResult) { res = r })
+		h.Run(60 * sim.Second)
+		return res
+	})
+	for i, sc := range scenarios {
 		var clean, comp []bool
-		for _, r := range results {
+		for _, r := range results[i*s.trials() : (i+1)*s.trials()] {
 			clean = append(clean, r.Clean())
 			comp = append(comp, r.Compromised())
 		}

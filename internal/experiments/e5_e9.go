@@ -85,46 +85,57 @@ func E7Detection(s Scale) Table {
 		{"cloned (Fig. 1)", true, true},
 		{"distinct", false, false},
 	}
+	type out struct {
+		detected bool
+		latency  float64
+		kind     string
+	}
+	type point struct {
+		sc   scenario
+		seed uint64
+	}
+	var points []point
 	for _, sc := range scenarios {
-		type out struct {
-			detected bool
-			latency  float64
-			kind     string
+		for _, seed := range core.Seeds(7, s.trials()) {
+			points = append(points, point{sc, seed})
 		}
-		results := core.Sweep(core.Seeds(7, s.trials()), func(seed uint64) out {
-			cfg := core.Config{
-				Seed: seed, Rogue: true, RogueCloneBSSID: sc.clone, RoguePureRelay: true,
-				APPos: phyPos(0), VictimPos: phyPos(40), RoguePos: phyPos(42),
+	}
+	results := core.Sweep(points, func(p point) out {
+		sc := p.sc
+		cfg := core.Config{
+			Seed: p.seed, Rogue: true, RogueCloneBSSID: sc.clone, RoguePureRelay: true,
+			APPos: phyPos(0), VictimPos: phyPos(40), RoguePos: phyPos(42),
+		}
+		w := core.NewWorld(cfg)
+		monRadio := w.Medium.AddRadio(phy.RadioConfig{Name: "sensor", Pos: phyPos(20), Channel: 1})
+		mon := dot11.NewMonitor(monRadio)
+		d := detect.New(w.Kernel, detect.Config{})
+		d.Attach(mon)
+		detect.NewHopper(w.Kernel, mon, 200*sim.Millisecond)
+		start := w.Kernel.Now()
+		w.VictimConnect()
+		if sc.busy {
+			// Keep the victim downloading through the rogue.
+			var loop func()
+			loop = func() {
+				w.VictimDownload(func(core.DownloadResult) {
+					w.Kernel.After(sim.Second, loop)
+				})
 			}
-			w := core.NewWorld(cfg)
-			monRadio := w.Medium.AddRadio(phy.RadioConfig{Name: "sensor", Pos: phyPos(20), Channel: 1})
-			mon := dot11.NewMonitor(monRadio)
-			d := detect.New(w.Kernel, detect.Config{})
-			d.Attach(mon)
-			detect.NewHopper(w.Kernel, mon, 200*sim.Millisecond)
-			start := w.Kernel.Now()
-			w.VictimConnect()
-			if sc.busy {
-				// Keep the victim downloading through the rogue.
-				var loop func()
-				loop = func() {
-					w.VictimDownload(func(core.DownloadResult) {
-						w.Kernel.After(sim.Second, loop)
-					})
-				}
-				w.Kernel.After(12*sim.Second, loop)
-			}
-			w.Run(60 * sim.Second)
-			if len(d.Alerts) == 0 {
-				return out{}
-			}
-			a := d.Alerts[0]
-			return out{detected: true, latency: (a.At - start).Seconds(), kind: a.Kind.String()}
-		})
+			w.Kernel.After(12*sim.Second, loop)
+		}
+		w.Run(60 * sim.Second)
+		if len(d.Alerts) == 0 {
+			return out{}
+		}
+		a := d.Alerts[0]
+		return out{detected: true, latency: (a.At - start).Seconds(), kind: a.Kind.String()}
+	})
+	for i, sc := range scenarios {
 		var det []bool
 		var lats []float64
 		kind := "-"
-		for _, r := range results {
+		for _, r := range results[i*s.trials() : (i+1)*s.trials()] {
 			det = append(det, r.detected)
 			if r.detected {
 				lats = append(lats, r.latency)
@@ -160,75 +171,95 @@ func E8Eavesdrop(s Scale) Table {
 		},
 	}
 	secret := []byte("EAVESDROP-ME :: this file body is the sniffer's target\n")
-	cfg := core.Config{Seed: 11, APPos: phyPos(0), VictimPos: phyPos(20), FileContents: secret}
-	w := core.NewWorld(cfg)
-
-	// Wireless sniffer near the AP: it records every data payload it hears.
-	monRadio := w.Medium.AddRadio(phy.RadioConfig{Name: "sniffer", Pos: phyPos(10), Channel: 1})
-	mon := dot11.NewMonitor(monRadio)
-	var airCapture []byte
-	var airFrames uint64
-	mon.OnFrame = func(f dot11.Frame, info phy.RxInfo) {
-		if f.Type == dot11.TypeData && (f.Addr2 == core.VictimMAC || f.Addr1 == core.VictimMAC) {
-			airFrames++
-			airCapture = append(airCapture, f.Body...)
-		}
-	}
-	// Wired sniffer on its own corp-switch port.
-	wiredPort := w.CorpSwitch.Attach(w.Alloc.Next())
-	wiredPort.SetPromiscuous(true)
-	var wireCapture []byte
-	var wireFrames uint64
-	wiredPort.SetReceiver(func(f ethernet.Frame) {
-		if f.Type == ethernet.TypeIPv4 {
-			wireFrames++
-			wireCapture = append(wireCapture, f.Payload...)
-		}
-	})
-
-	w.VictimConnect()
-	w.Run(10 * sim.Second)
-	var res core.DownloadResult
-	w.VictimDownload(func(r core.DownloadResult) { res = r })
-	w.Run(30 * sim.Second)
-	if res.Err != nil {
-		t.Notes = append(t.Notes, "WARNING: victim download failed: "+res.Err.Error())
-	}
 	recovered := func(capture []byte) string {
 		return yes(bytes.Contains(capture, secret))
 	}
-	t.AddRow("wireless monitor, 10 m from AP",
-		fmt.Sprintf("%d / %d", airFrames, len(airCapture)), recovered(airCapture))
-	t.AddRow("switched wired port (promiscuous)",
-		fmt.Sprintf("%d / %d", wireFrames, len(wireCapture)), recovered(wireCapture))
+	// The open-cell and WEP-cell captures are independent worlds, so both run
+	// through one sweep; each job returns its finished rows (plus any warning
+	// note), spliced back in point order.
+	type capture struct {
+		rows  [][]string
+		notes []string
+	}
+	results := core.Sweep([]bool{false, true}, func(wepCell bool) capture {
+		if !wepCell {
+			cfg := core.Config{Seed: 11, APPos: phyPos(0), VictimPos: phyPos(20), FileContents: secret}
+			w := core.NewWorld(cfg)
 
-	// WEP variant: passive capture of an encrypted cell, read back without
-	// and with the (Airsnort-recoverable) key.
-	key := wep.Key40FromString("SECRET")
-	w2 := core.NewWorld(core.Config{Seed: 12, APPos: phyPos(0), VictimPos: phyPos(20),
-		WEPKey: key, FileContents: secret})
-	mon2 := dot11.NewMonitor(w2.Medium.AddRadio(phy.RadioConfig{Name: "sniffer2", Pos: phyPos(10), Channel: 1}))
-	var sealedBodies [][]byte
-	mon2.OnFrame = func(f dot11.Frame, info phy.RxInfo) {
-		if f.Type == dot11.TypeData && f.Protected {
-			sealedBodies = append(sealedBodies, append([]byte(nil), f.Body...))
+			// Wireless sniffer near the AP: it records every data payload it hears.
+			monRadio := w.Medium.AddRadio(phy.RadioConfig{Name: "sniffer", Pos: phyPos(10), Channel: 1})
+			mon := dot11.NewMonitor(monRadio)
+			var airCapture []byte
+			var airFrames uint64
+			mon.OnFrame = func(f dot11.Frame, info phy.RxInfo) {
+				if f.Type == dot11.TypeData && (f.Addr2 == core.VictimMAC || f.Addr1 == core.VictimMAC) {
+					airFrames++
+					airCapture = append(airCapture, f.Body...)
+				}
+			}
+			// Wired sniffer on its own corp-switch port.
+			wiredPort := w.CorpSwitch.Attach(w.Alloc.Next())
+			wiredPort.SetPromiscuous(true)
+			var wireCapture []byte
+			var wireFrames uint64
+			wiredPort.SetReceiver(func(f ethernet.Frame) {
+				if f.Type == ethernet.TypeIPv4 {
+					wireFrames++
+					wireCapture = append(wireCapture, f.Payload...)
+				}
+			})
+
+			w.VictimConnect()
+			w.Run(10 * sim.Second)
+			var res core.DownloadResult
+			w.VictimDownload(func(r core.DownloadResult) { res = r })
+			w.Run(30 * sim.Second)
+			var c capture
+			if res.Err != nil {
+				c.notes = append(c.notes, "WARNING: victim download failed: "+res.Err.Error())
+			}
+			c.rows = append(c.rows,
+				[]string{"wireless monitor, 10 m from AP",
+					fmt.Sprintf("%d / %d", airFrames, len(airCapture)), recovered(airCapture)},
+				[]string{"switched wired port (promiscuous)",
+					fmt.Sprintf("%d / %d", wireFrames, len(wireCapture)), recovered(wireCapture)})
+			return c
 		}
-	}
-	w2.VictimConnect()
-	w2.Run(10 * sim.Second)
-	w2.VictimDownload(func(core.DownloadResult) {})
-	w2.Run(30 * sim.Second)
-	var rawCat, decCat []byte
-	for _, b := range sealedBodies {
-		rawCat = append(rawCat, b...)
-		if plain, err := wep.Open(key, b); err == nil {
-			decCat = append(decCat, plain...)
+		// WEP variant: passive capture of an encrypted cell, read back without
+		// and with the (Airsnort-recoverable) key.
+		key := wep.Key40FromString("SECRET")
+		w2 := core.NewWorld(core.Config{Seed: 12, APPos: phyPos(0), VictimPos: phyPos(20),
+			WEPKey: key, FileContents: secret})
+		mon2 := dot11.NewMonitor(w2.Medium.AddRadio(phy.RadioConfig{Name: "sniffer2", Pos: phyPos(10), Channel: 1}))
+		var sealedBodies [][]byte
+		mon2.OnFrame = func(f dot11.Frame, info phy.RxInfo) {
+			if f.Type == dot11.TypeData && f.Protected {
+				sealedBodies = append(sealedBodies, append([]byte(nil), f.Body...))
+			}
 		}
+		w2.VictimConnect()
+		w2.Run(10 * sim.Second)
+		w2.VictimDownload(func(core.DownloadResult) {})
+		w2.Run(30 * sim.Second)
+		var rawCat, decCat []byte
+		for _, b := range sealedBodies {
+			rawCat = append(rawCat, b...)
+			if plain, err := wep.Open(key, b); err == nil {
+				decCat = append(decCat, plain...)
+			}
+		}
+		var c capture
+		c.rows = append(c.rows,
+			[]string{"wireless monitor, WEP cell, no key",
+				fmt.Sprintf("%d / %d", len(sealedBodies), len(rawCat)), recovered(rawCat)},
+			[]string{"wireless monitor, WEP cell, cracked key",
+				fmt.Sprintf("%d / %d", len(sealedBodies), len(decCat)), recovered(decCat)})
+		return c
+	})
+	for _, r := range results {
+		t.Rows = append(t.Rows, r.rows...)
+		t.Notes = append(t.Notes, r.notes...)
 	}
-	t.AddRow("wireless monitor, WEP cell, no key",
-		fmt.Sprintf("%d / %d", len(sealedBodies), len(rawCat)), recovered(rawCat))
-	t.AddRow("wireless monitor, WEP cell, cracked key",
-		fmt.Sprintf("%d / %d", len(sealedBodies), len(decCat)), recovered(decCat))
 	t.Notes = append(t.Notes,
 		"WEP stops a passive outsider only until the key is recovered (E4); a key-holding rogue was never stopped (E2)")
 	return t
@@ -262,36 +293,49 @@ func E9Overhead(s Scale) Table {
 	for i := range file {
 		file[i] = byte(i)
 	}
-	var baseline float64
+	type point struct {
+		sc   scenario
+		seed uint64
+	}
+	var points []point
 	for _, sc := range scenarios {
-		results := core.Sweep(core.Seeds(9, s.trials()), func(seed uint64) float64 {
-			cfg := core.Config{
-				Seed: seed, WEPKey: sc.key, VPNServer: sc.vpn, VPNCarrier: sc.carrier,
-				VictimPos: phyPos(20), FileContents: file,
-			}
-			w := core.NewWorld(cfg)
-			w.VictimConnect()
-			w.Run(10 * sim.Second)
-			if sc.vpn {
-				up := false
-				w.EnableVictimVPN(nil, func(err error) { up = err == nil })
-				w.Run(20 * sim.Second)
-				if !up {
-					return -1
-				}
-			}
-			start := w.Kernel.Now()
-			var doneAt sim.Time
-			var res core.DownloadResult
-			w.VictimDownload(func(r core.DownloadResult) { res = r; doneAt = w.Kernel.Now() })
-			w.Run(2 * sim.Minute)
-			if res.Err != nil || !res.Clean() {
+		for _, seed := range core.Seeds(9, s.trials()) {
+			points = append(points, point{sc, seed})
+		}
+	}
+	results := core.Sweep(points, func(p point) float64 {
+		sc := p.sc
+		cfg := core.Config{
+			Seed: p.seed, WEPKey: sc.key, VPNServer: sc.vpn, VPNCarrier: sc.carrier,
+			VictimPos: phyPos(20), FileContents: file,
+		}
+		w := core.NewWorld(cfg)
+		w.VictimConnect()
+		w.Run(10 * sim.Second)
+		if sc.vpn {
+			up := false
+			w.EnableVictimVPN(nil, func(err error) { up = err == nil })
+			w.Run(20 * sim.Second)
+			if !up {
 				return -1
 			}
-			return (doneAt - start).Seconds()
-		})
+		}
+		start := w.Kernel.Now()
+		var doneAt sim.Time
+		var res core.DownloadResult
+		w.VictimDownload(func(r core.DownloadResult) { res = r; doneAt = w.Kernel.Now() })
+		w.Run(2 * sim.Minute)
+		if res.Err != nil || !res.Clean() {
+			return -1
+		}
+		return (doneAt - start).Seconds()
+	})
+	// The "relative" column divides by the first scenario's mean, so rows are
+	// assembled sequentially even though the trials ran in one flat sweep.
+	var baseline float64
+	for i, sc := range scenarios {
 		var times []float64
-		for _, r := range results {
+		for _, r := range results[i*s.trials() : (i+1)*s.trials()] {
 			if r > 0 {
 				times = append(times, r)
 			}

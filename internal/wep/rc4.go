@@ -23,6 +23,17 @@ func NewRC4(key []byte) *RC4 {
 	return c
 }
 
+// rc4Identity seeds the KSA's S-box with one copy instead of a 256-step
+// loop. The KSA runs once per WEP frame (every Seal/Open/FirstKeystreamByte
+// re-keys on the per-frame IV‖key), so it dominates any traffic-generation
+// loop and is worth tuning.
+var rc4Identity = func() (s [256]byte) {
+	for i := range s {
+		s[i] = byte(i)
+	}
+	return
+}()
+
 // Reset re-runs the KSA on an existing cipher state, so per-frame ciphers can
 // live on the stack instead of allocating:
 //
@@ -32,13 +43,18 @@ func (c *RC4) Reset(key []byte) {
 	if len(key) == 0 || len(key) > 256 {
 		panic("wep: bad RC4 key size")
 	}
-	for i := 0; i < 256; i++ {
-		c.s[i] = byte(i)
-	}
+	c.s = rc4Identity
+	// Cycle the key index by hand: key[i%len(key)] costs a hardware divide
+	// per step, which profiled as the bulk of the whole FMS experiment.
 	var j uint8
+	ki := 0
 	for i := 0; i < 256; i++ {
-		j += c.s[i] + key[i%len(key)]
+		j += c.s[i] + key[ki]
 		c.s[i], c.s[j] = c.s[j], c.s[i]
+		ki++
+		if ki == len(key) {
+			ki = 0
+		}
 	}
 	c.i, c.j = 0, 0
 }

@@ -3,37 +3,62 @@
 # the chaos digest matrix) once with allocation stats and emit a JSON
 # summary. Usage:
 #
-#   scripts/bench.sh [out.json [baseline.txt]]
+#   scripts/bench.sh [out.json [baseline]]
 #
-# out.json defaults to BENCH_PR4.json. baseline.txt, when given, is a saved
-# `go test -bench` text output whose numbers are embedded per benchmark as
-# baseline_* fields, for before/after comparison across a change.
+# out.json defaults to BENCH_PR5.json. baseline, when given, is either a
+# saved `go test -bench` text output or a JSON file previously emitted by
+# this script (e.g. BENCH_PR4.json); its numbers are embedded per benchmark
+# as baseline_* fields for before/after comparison across a change. When no
+# baseline is named, BENCH_PR4.json is used if present.
+#
+# BENCH_NOTES, if set in the environment, is embedded verbatim as a "notes"
+# string — use it to record why a number was re-baselined.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR4.json}
+OUT=${1:-BENCH_PR5.json}
 BASELINE=${2:-}
+if [ -z "$BASELINE" ] && [ -f BENCH_PR4.json ] && [ "$OUT" != "BENCH_PR4.json" ]; then
+	BASELINE=BENCH_PR4.json
+fi
 TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' -bench . -benchmem -benchtime 1x . | tee "$TMP"
 
-awk -v baseline="$BASELINE" '
+awk -v baseline="$BASELINE" -v notes="${BENCH_NOTES:-}" '
 function bname(s) { sub(/^Benchmark/, "", s); sub(/-[0-9]+$/, "", s); return s }
 BEGIN {
 	if (baseline != "") {
 		while ((getline line < baseline) > 0) {
 			n = split(line, f, /[ \t]+/)
 			if (f[1] ~ /^Benchmark/ && f[4] == "ns/op") {
+				# Saved text output of `go test -bench -benchmem`.
 				name = bname(f[1])
 				bns[name] = f[3]; bbytes[name] = f[5]; ballocs[name] = f[7]
+			} else if (line ~ /"name":/) {
+				# JSON from a previous run of this script: the "name" line
+				# carries exactly ns/bytes/allocs, in that order, as its
+				# last three numeric fields.
+				split(line, q, "\"")
+				name = q[4]
+				n = split(line, f, /[^0-9]+/)
+				m = 0
+				for (i = 1; i <= n; i++) if (f[i] != "") { m++; t[m] = f[i] }
+				if (m >= 3) {
+					bns[name] = t[m-2]; bbytes[name] = t[m-1]; ballocs[name] = t[m]
+				}
 			}
 		}
 		close(baseline)
 	}
 	print "{"
 	print "  \"command\": \"go test -run ^$ -bench . -benchmem -benchtime 1x .\","
+	if (notes != "") {
+		gsub(/\\/, "\\\\", notes); gsub(/"/, "\\\"", notes)
+		printf "  \"notes\": \"%s\",\n", notes
+	}
 	printf "  \"benchmarks\": ["
 	first = 1
 }

@@ -1,0 +1,75 @@
+#!/bin/sh
+# scripts/bench_check.sh — benchmark regression gate. Re-runs the experiment
+# benchmarks via scripts/bench.sh and compares every E1–E12 benchmark against
+# a committed reference JSON (default BENCH_PR5.json): the gate fails if
+# ns/op or allocs/op regressed by more than TOL percent (default 25).
+#
+#   scripts/bench_check.sh [reference.json]
+#
+# allocs/op is deterministic, so any trip there is a real regression; ns/op
+# is machine-dependent, hence the generous threshold. The chaos digest
+# matrix benchmark is reported but not gated (pure wall-time, no E-table).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+REF=${1:-BENCH_PR5.json}
+TOL=${TOL:-25}
+if [ ! -f "$REF" ]; then
+	echo "bench_check: missing reference $REF" >&2
+	exit 2
+fi
+
+CUR=$(mktemp)
+trap 'rm -f "$CUR"' EXIT
+
+# /dev/null baseline: emit plain numbers, no baseline_* embedding.
+sh scripts/bench.sh "$CUR" /dev/null
+
+awk -v tol="$TOL" -v ref="$REF" '
+# Both files are bench.sh JSON: the "name" line carries ns/bytes/allocs as
+# its last three numeric fields.
+function parse(line) {
+	split(line, q, "\"")
+	pname = q[4]
+	n = split(line, f, /[^0-9]+/)
+	m = 0
+	for (i = 1; i <= n; i++) if (f[i] != "") { m++; t[m] = f[i] }
+	pns = t[m-2]; pallocs = t[m]
+}
+BEGIN {
+	while ((getline line < ref) > 0) {
+		if (line !~ /"name":/) continue
+		parse(line)
+		rns[pname] = pns; rallocs[pname] = pallocs
+	}
+	close(ref)
+	fail = 0
+}
+/"name":/ {
+	parse($0)
+	if (!(pname in rns)) {
+		printf "NEW     %-24s ns/op=%s allocs/op=%s (no reference)\n", pname, pns, pallocs
+		next
+	}
+	gated = (pname ~ /^E[0-9]/)
+	nslim = rns[pname] * (1 + tol / 100)
+	allocslim = rallocs[pname] * (1 + tol / 100)
+	verdict = "ok"
+	if (gated && (pns + 0 > nslim || pallocs + 0 > allocslim)) {
+		verdict = "REGRESSED"
+		fail = 1
+	} else if (!gated) {
+		verdict = "ungated"
+	}
+	printf "%-9s %-24s ns/op %s -> %s, allocs/op %s -> %s\n", \
+		verdict, pname, rns[pname], pns, rallocs[pname], pallocs
+}
+END {
+	if (fail) {
+		printf "bench_check: regression beyond %s%% of %s\n", tol, ref
+		exit 1
+	}
+	printf "bench_check: all gated benchmarks within %s%% of %s\n", tol, ref
+}
+' "$CUR"

@@ -1,0 +1,32 @@
+#!/bin/sh
+# scripts/profile.sh — profile one or more experiments through
+# cmd/experiments' -cpuprofile/-memprofile flags and print the hot
+# functions. Usage:
+#
+#   scripts/profile.sh [ids [extra cmd/experiments flags...]]
+#
+# ids is the -run selector (default "all"), e.g.:
+#
+#   scripts/profile.sh e4
+#   scripts/profile.sh e10,e11,e12 -trials 10
+#
+# Profiles land in profiles/<ids>.{cpu,mem}.pprof; dig further with
+#   go tool pprof profiles/e4.cpu.pprof
+set -eu
+
+cd "$(dirname "$0")/.."
+
+RUN=${1:-all}
+if [ $# -gt 0 ]; then
+	shift
+fi
+mkdir -p profiles
+STEM="profiles/$(echo "$RUN" | tr ',' '-')"
+
+go run ./cmd/experiments -run "$RUN" -cpuprofile "$STEM.cpu.pprof" -memprofile "$STEM.mem.pprof" "$@" > /dev/null
+
+echo "== CPU: $STEM.cpu.pprof =="
+go tool pprof -top -nodecount 15 "$STEM.cpu.pprof"
+echo
+echo "== allocations: $STEM.mem.pprof =="
+go tool pprof -top -nodecount 15 -sample_index=alloc_objects "$STEM.mem.pprof"
