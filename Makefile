@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-check profile simvet lint
+.PHONY: all build test race bench bench-check soak profile simvet lint
 
 all: build test
 
@@ -17,9 +17,19 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # bench-check mirrors the CI bench-regression gate: fails on a >25% ns/op or
-# allocs/op regression of any E1–E12 benchmark vs the committed BENCH_PR5.json.
+# allocs/op regression of any gated benchmark (E1–E12, the sim kernel
+# events/sec and soak benches, the per-layer marshal micro-benches) vs the
+# committed BENCH_PR6.json.
 bench-check:
 	sh scripts/bench_check.sh
+
+# soak runs the kernel soak benchmark for an extended stretch: a standing
+# 4096-event storm advanced one simulated second per iteration, with the
+# flat-memory assertion (EventAllocs must not grow after warmup) armed the
+# whole time. SOAKTIME scales the stretch.
+SOAKTIME ?= 30s
+soak:
+	$(GO) test -run '^$$' -bench 'KernelSoak' -benchmem -benchtime $(SOAKTIME) ./internal/sim/
 
 # profile writes CPU+alloc pprof profiles of the experiment suite; pass a
 # subset as RUN (e.g. `make profile RUN=e4`).

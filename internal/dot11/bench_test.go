@@ -1,0 +1,32 @@
+package dot11
+
+import (
+	"testing"
+
+	"repro/internal/ethernet"
+)
+
+// BenchmarkDot11Data is the per-layer marshal bench gated by
+// scripts/bench.sh: MAC-header serialisation for an MTU-sized data frame.
+// The header goes into a recycled buffer via putHeader — the zero-copy
+// transmit path — so the measurement is the header encode itself, not the
+// body copy.
+func BenchmarkDot11Data(b *testing.B) {
+	f := &Frame{
+		Type:    TypeData,
+		Subtype: SubtypeDataFrame,
+		ToDS:    true,
+		Addr1:   ethernet.MAC{2, 0, 0, 0, 0, 1},
+		Addr2:   ethernet.MAC{2, 0, 0, 0, 0, 2},
+		Addr3:   ethernet.MAC{2, 0, 0, 0, 0, 3},
+		Seq:     1234,
+		Body:    make([]byte, 1400),
+	}
+	buf := make([]byte, headerLen)
+	b.SetBytes(int64(headerLen + len(f.Body)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Seq = uint16(i) & 0x0fff
+		f.putHeader(buf)
+	}
+}

@@ -1,0 +1,29 @@
+package ipv4
+
+import (
+	"testing"
+
+	"repro/internal/inet"
+	pktbuf "repro/internal/pkt"
+)
+
+// BenchmarkIPv4Push is the per-layer marshal bench gated by scripts/bench.sh:
+// the zero-copy transmit path's header push — a pooled buffer cycles through
+// Get, payload append, header push into headroom, Release, exactly as
+// Stack.SendBuf drives it.
+func BenchmarkIPv4Push(b *testing.B) {
+	pool := pktbuf.NewPool()
+	payload := make([]byte, 1400)
+	p := &Packet{
+		ID: 1, TTL: DefaultTTL, Proto: ProtoUDP,
+		Src: inet.Addr{10, 0, 0, 1}, Dst: inet.Addr{10, 0, 0, 2},
+	}
+	b.SetBytes(int64(HeaderLen + len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pb := pool.Get()
+		pb.Append(payload)
+		p.putHeader(pb.Push(HeaderLen), HeaderLen+len(payload))
+		pb.Release()
+	}
+}

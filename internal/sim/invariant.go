@@ -63,12 +63,10 @@ func (v *InvariantViolation) Error() string {
 // kernel cannot meaningfully continue); tests may install OnViolation to
 // convert it into a test failure instead.
 func (k *Kernel) runInvariants() {
-	// Kernel invariant: the queue head must never be in the past.
-	if len(k.queue) > 0 && k.queue[0].when < k.now {
-		k.violate(&InvariantViolation{
-			Name: "sim/heap-monotonic", At: k.now,
-			Err: fmt.Errorf("queue head at %v behind clock %v", k.queue[0].when, k.now),
-		})
+	// Kernel invariant: the scheduler must never hold an event behind the
+	// clock, and the wheel's structural bookkeeping must be consistent.
+	if err := k.checkScheduler(); err != nil {
+		k.violate(&InvariantViolation{Name: "sim/heap-monotonic", At: k.now, Err: err})
 		return
 	}
 	for i := range k.invariants {

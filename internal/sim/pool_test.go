@@ -34,7 +34,7 @@ func TestScheduleReusesSameStruct(t *testing.T) {
 	}
 	recycled := k.freeEvents[0]
 	k.Schedule(0, func() {})
-	if k.queue[0] != recycled {
+	if k.cur[0] != recycled {
 		t.Fatal("Schedule did not reuse the recycled event struct")
 	}
 	k.Run()

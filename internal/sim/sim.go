@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -62,9 +61,7 @@ type Event struct {
 	when Time
 	seq  uint64 // tie-break: insertion order
 	fn   func()
-	// index in the heap, or -1 when not queued. Maintained by eventQueue.
-	index int
-	// cancelled events remain in the heap but are skipped when popped.
+	// cancelled events remain queued but are skipped when they surface.
 	cancelled bool
 	// pooled events came from the kernel freelist (Schedule/ScheduleAfter)
 	// and are recycled after firing. Events whose *Event handle escapes to a
@@ -78,7 +75,7 @@ func (e *Event) When() Time { return e.when }
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
 // already-cancelled event is a no-op. Cancel is O(1); the event is lazily
-// discarded when it reaches the top of the queue.
+// discarded when its wheel slot is loaded or it surfaces at a heap top.
 func (e *Event) Cancel() {
 	if e != nil {
 		e.cancelled = true
@@ -89,45 +86,21 @@ func (e *Event) Cancel() {
 // Cancelled reports whether Cancel has been called on the event.
 func (e *Event) Cancelled() bool { return e != nil && e.cancelled }
 
-// eventQueue is a min-heap of events ordered by (when, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
-}
-
-// Kernel is a discrete-event simulator instance: a virtual clock, an event
-// queue, and a deterministic random source.
+// Kernel is a discrete-event simulator instance: a virtual clock, a
+// time-wheel event queue (see wheel.go), and a deterministic random source.
 type Kernel struct {
-	now     Time
-	queue   eventQueue
+	now Time
+	// Scheduler tiers (wheel.go): cur is the imminent (when, seq) heap for
+	// events at or before the cursor tick; slots/occ/wheelCount are the
+	// fixed-resolution wheel for the near-future window; overflow is the
+	// far-future heap that drains into the wheel as the cursor advances.
+	cur        []*Event
+	slots      [][]*Event
+	occ        [occWords]uint64
+	wheelCount int
+	cursor     int64
+	overflow   []*Event
+
 	seq     uint64
 	rng     *RNG
 	stopped bool
@@ -157,7 +130,12 @@ type Kernel struct {
 
 // NewKernel returns a kernel at t=0 whose random source is seeded with seed.
 func NewKernel(seed uint64) *Kernel {
-	return &Kernel{rng: NewRNG(seed), digest: newTraceDigest(), bufPool: pkt.NewPool()}
+	return &Kernel{
+		rng:     NewRNG(seed),
+		digest:  newTraceDigest(),
+		bufPool: pkt.NewPool(),
+		slots:   make([][]*Event, wheelSlots),
+	}
 }
 
 // BufPool returns the kernel's packet-buffer pool. Every layer running on
@@ -175,7 +153,7 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 
 // Pending reports how many events are queued (including cancelled ones that
 // have not yet been discarded).
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return len(k.cur) + k.wheelCount + len(k.overflow) }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t < Now) panics: it would violate causality and always indicates a bug in
@@ -187,9 +165,9 @@ func (k *Kernel) At(t Time, fn func()) *Event {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	e := &Event{when: t, seq: k.seq, fn: fn, index: -1}
+	e := &Event{when: t, seq: k.seq, fn: fn}
 	k.seq++
-	heap.Push(&k.queue, e)
+	k.insert(e)
 	return e
 }
 
@@ -219,7 +197,7 @@ func (k *Kernel) Schedule(t Time, fn func()) {
 	e.fn = fn
 	e.pooled = true
 	k.seq++
-	heap.Push(&k.queue, e)
+	k.insert(e)
 }
 
 // ScheduleAfter is the handle-less, pooled variant of After.
@@ -240,7 +218,7 @@ func (k *Kernel) getEvent() *Event {
 		return e
 	}
 	k.eventAllocs++
-	return &Event{index: -1}
+	return &Event{}
 }
 
 // EventAllocs reports how many pooled events were freshly allocated.
@@ -249,8 +227,15 @@ func (k *Kernel) EventAllocs() uint64 { return k.eventAllocs }
 // EventReuses reports how many pooled events were served from the freelist.
 func (k *Kernel) EventReuses() uint64 { return k.eventReuses }
 
-// Stop halts Run/RunUntil after the currently executing event returns.
-func (k *Kernel) Stop() { k.stopped = true }
+// Stop halts Run/RunUntil after the currently executing event returns, and
+// drains the event queue in O(pending): remaining events are dropped (their
+// closures released for GC) and pooled ones are recycled into the freelist.
+// A stopped kernel never runs again, so a kernel with thousands of queued
+// events stops promptly instead of popping each one through the scheduler.
+func (k *Kernel) Stop() {
+	k.stopped = true
+	k.drainQueue()
+}
 
 // Stopped reports whether Stop has been called.
 func (k *Kernel) Stopped() bool { return k.stopped }
@@ -258,32 +243,29 @@ func (k *Kernel) Stopped() bool { return k.stopped }
 // step executes the next pending event, advancing the clock to its timestamp.
 // It reports false when the queue is empty.
 func (k *Kernel) step() bool {
-	for len(k.queue) > 0 {
-		e := heap.Pop(&k.queue).(*Event)
-		if e.cancelled {
-			continue
-		}
-		if e.when < k.now {
-			panic("sim: event queue time went backwards")
-		}
-		k.now = e.when
-		fn := e.fn
-		e.fn = nil
-		k.fired++
-		k.mixEvent(e)
-		fn()
-		if e.pooled {
-			// Recycle after fn returns: nothing holds a handle to a pooled
-			// event, so the struct can be reissued by the next Schedule.
-			*e = Event{index: -1}
-			k.freeEvents = append(k.freeEvents, e)
-		}
-		if k.checkInvariants {
-			k.runInvariants()
-		}
-		return true
+	e := k.nextEvent()
+	if e == nil {
+		return false
 	}
-	return false
+	if e.when < k.now {
+		panic("sim: event queue time went backwards")
+	}
+	k.now = e.when
+	fn := e.fn
+	e.fn = nil
+	k.fired++
+	k.mixEvent(e)
+	fn()
+	if e.pooled {
+		// Recycle after fn returns: nothing holds a handle to a pooled
+		// event, so the struct can be reissued by the next Schedule.
+		*e = Event{}
+		k.freeEvents = append(k.freeEvents, e)
+	}
+	if k.checkInvariants {
+		k.runInvariants()
+	}
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called, and reports
@@ -304,15 +286,8 @@ func (k *Kernel) RunUntil(deadline Time) uint64 {
 	}
 	start := k.fired
 	for !k.stopped {
-		// Peek.
-		var next *Event
-		for len(k.queue) > 0 && k.queue[0].cancelled {
-			heap.Pop(&k.queue)
-		}
-		if len(k.queue) > 0 {
-			next = k.queue[0]
-		}
-		if next == nil || next.when > deadline {
+		next, ok := k.peekWhen()
+		if !ok || next > deadline {
 			break
 		}
 		k.step()

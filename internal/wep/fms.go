@@ -304,48 +304,32 @@ func rankVotes(votes *[256]int32, out []byte) {
 // recoverable prefix (the last byte of a 104-bit key).
 const maxKSASteps = IVLen + KeySize104
 
-// ksaOverlay is a sparse view of the RC4 S-box during the first few KSA
-// steps. The state starts as the identity permutation and fmsVote performs at
-// most maxKSASteps swaps, so at most 2·maxKSASteps positions ever differ from
-// identity; tracking only those avoids the 256-entry initialisation and any
-// allocation. slot is a sparse-set index: slot[i] names the entry holding
-// position i, and is trusted only if that entry points back at i — so a
-// zero-valued overlay is valid as-is and get/set are O(1), which matters
-// because the 104-bit recovery refolds votes heavily while backtracking.
-type ksaOverlay struct {
-	pos  [2 * maxKSASteps]uint8
-	val  [2 * maxKSASteps]uint8
-	slot [256]uint8
-	n    int
-}
-
-// get returns S[i].
-func (o *ksaOverlay) get(i uint8) uint8 {
-	if k := o.slot[i]; int(k) < o.n && o.pos[k] == i {
-		return o.val[k]
+// ksaIdentity is the identity permutation the RC4 KSA starts from. fmsVote
+// copies it into a stack-local dense S-box: one 256-byte memmove replaces the
+// per-access indirection of the sparse overlay this code used to carry, and
+// the vote loop becomes plain array indexing. That trade matters because the
+// 104-bit recovery refolds votes heavily while backtracking — fmsVote is the
+// hottest function in the whole experiment suite.
+var ksaIdentity = func() (a [256]uint8) {
+	for i := range a {
+		a[i] = uint8(i)
 	}
-	return i
-}
-
-// set assigns S[i] = v.
-func (o *ksaOverlay) set(i, v uint8) {
-	if k := o.slot[i]; int(k) < o.n && o.pos[k] == i {
-		o.val[k] = v
-		return
-	}
-	o.pos[o.n], o.val[o.n] = i, v
-	o.slot[i] = uint8(o.n)
-	o.n++
-}
+	return
+}()
 
 // fmsVote simulates the first b+3 steps of the RC4 KSA with the known IV and
 // recovered key prefix, applies the FMS "resolved" condition, and if it
 // holds, derives the candidate value for key byte b implied by the observed
-// first keystream byte k0. It is allocation-free; see ksaOverlay.
+// first keystream byte k0. The S-box and touched-position list live on the
+// stack: zero allocations.
 func fmsVote(iv IV, prefix []byte, k0 byte) (byte, bool) {
 	steps := len(prefix) + IVLen
 
-	var s ksaOverlay
+	s := ksaIdentity
+	// touched records every position a swap wrote, so inv[k0] below is a
+	// short scan instead of a 256-entry search.
+	var touched [2 * maxKSASteps]uint8
+	nt := 0
 	var j uint8
 	for i := 0; i < steps; i++ {
 		var kb byte
@@ -354,32 +338,35 @@ func fmsVote(iv IV, prefix []byte, k0 byte) (byte, bool) {
 		} else {
 			kb = prefix[i-IVLen]
 		}
-		si := s.get(uint8(i))
+		si := s[i]
 		j += si + kb
-		sj := s.get(j)
-		s.set(uint8(i), sj)
-		s.set(j, si)
+		s[i], s[j] = s[j], si
+		touched[nt], touched[nt+1] = uint8(i), j
+		nt += 2
 	}
 	// Resolved condition: the first output byte will, with ~e^-3
 	// probability, be the value swapped into position steps at the next KSA
 	// step, which exposes the key byte.
-	s1 := s.get(1)
+	s1 := s[1]
 	if int(s1) >= steps {
 		return 0, false
 	}
-	if (int(s1)+int(s.get(s1)))&0xff != steps {
+	if (int(s1)+int(s[s1]))&0xff != steps {
 		return 0, false
 	}
 	// inv[k0]: the value k0 still sits at position k0 unless one of the
-	// swaps above moved it, in which case it lives at a touched position.
+	// swaps above moved it, in which case it lives at a touched position (S
+	// is a permutation, so exactly one position holds k0).
 	pos := int(k0)
-	for k := 0; k < s.n; k++ {
-		if s.val[k] == k0 {
-			pos = int(s.pos[k])
-			break
+	if s[k0] != k0 {
+		for _, p := range touched[:nt] {
+			if s[p] == k0 {
+				pos = int(p)
+				break
+			}
 		}
 	}
-	vote := (pos - int(j) - int(s.get(uint8(steps)))) & 0xff
+	vote := (pos - int(j) - int(s[steps])) & 0xff
 	return byte(vote), true
 }
 

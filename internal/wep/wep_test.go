@@ -454,3 +454,17 @@ func BenchmarkFirstKeystreamByte(b *testing.B) {
 		FirstKeystreamByte(key, iv.NextIV())
 	}
 }
+
+// BenchmarkWEPSeal is the per-layer marshal bench gated by scripts/bench.sh:
+// a full WEP encapsulation (IV header, RC4 keystream, ICV) of an MTU-sized
+// payload.
+func BenchmarkWEPSeal(b *testing.B) {
+	key := Key40FromString("SECRE")
+	msg := make([]byte, 1400)
+	iv := &SequentialIV{}
+	b.SetBytes(int64(len(msg)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Seal(key, iv.NextIV(), 0, msg)
+	}
+}

@@ -1,19 +1,25 @@
 #!/bin/sh
-# scripts/bench_check.sh — benchmark regression gate. Re-runs the experiment
-# benchmarks via scripts/bench.sh and compares every E1–E12 benchmark against
-# a committed reference JSON (default BENCH_PR5.json): the gate fails if
-# ns/op or allocs/op regressed by more than TOL percent (default 25).
+# scripts/bench_check.sh — benchmark regression gate. Re-runs the benchmark
+# suite via scripts/bench.sh and compares every gated benchmark against a
+# committed reference JSON (default BENCH_PR6.json): the gate fails if ns/op
+# or allocs/op regressed by more than TOL percent (default 25).
+#
+# Gated: the E1–E12 experiment benchmarks, the sim kernel throughput
+# benchmarks (KernelEventsPerSec at every depth, KernelSoak), and the
+# per-layer marshal micro-benches (WEPSeal, TCPMarshal, IPv4Push,
+# Dot11Data). RefHeapEventsPerSec is reported but not gated — it is the
+# retired scheduler, kept as the comparison floor. The chaos digest matrix
+# benchmark is likewise reported only (pure wall-time, no E-table).
 #
 #   scripts/bench_check.sh [reference.json]
 #
 # allocs/op is deterministic, so any trip there is a real regression; ns/op
-# is machine-dependent, hence the generous threshold. The chaos digest
-# matrix benchmark is reported but not gated (pure wall-time, no E-table).
+# is machine-dependent, hence the generous threshold.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-REF=${1:-BENCH_PR5.json}
+REF=${1:-BENCH_PR6.json}
 TOL=${TOL:-25}
 if [ ! -f "$REF" ]; then
 	echo "bench_check: missing reference $REF" >&2
@@ -27,20 +33,31 @@ trap 'rm -f "$CUR"' EXIT
 sh scripts/bench.sh "$CUR" /dev/null
 
 awk -v tol="$TOL" -v ref="$REF" '
-# Both files are bench.sh JSON: the "name" line carries ns/bytes/allocs as
-# its last three numeric fields.
+# Both files are bench.sh JSON: one benchmark per "name" line with labeled
+# ns_per_op / allocs_per_op values (integers or decimals).
+function jnum(line, key,    re, m) {
+	re = "\"" key "\": *-?[0-9]+(\\.[0-9]+)?"
+	if (match(line, re) == 0) return ""
+	m = substr(line, RSTART, RLENGTH)
+	sub(/.*: */, "", m)
+	return m
+}
 function parse(line) {
 	split(line, q, "\"")
 	pname = q[4]
-	n = split(line, f, /[^0-9]+/)
-	m = 0
-	for (i = 1; i <= n; i++) if (f[i] != "") { m++; t[m] = f[i] }
-	pns = t[m-2]; pallocs = t[m]
+	pns = jnum(line, "ns_per_op")
+	pallocs = jnum(line, "allocs_per_op")
+}
+function gated(name) {
+	return name ~ /^E[0-9]/ || name ~ /^KernelEventsPerSec/ || \
+		name == "KernelSoak" || name == "WEPSeal" || \
+		name == "TCPMarshal" || name == "IPv4Push" || name == "Dot11Data"
 }
 BEGIN {
 	while ((getline line < ref) > 0) {
 		if (line !~ /"name":/) continue
 		parse(line)
+		if (pns == "") continue
 		rns[pname] = pns; rallocs[pname] = pallocs
 	}
 	close(ref)
@@ -48,21 +65,24 @@ BEGIN {
 }
 /"name":/ {
 	parse($0)
+	if (pns == "") next
 	if (!(pname in rns)) {
-		printf "NEW     %-24s ns/op=%s allocs/op=%s (no reference)\n", pname, pns, pallocs
+		printf "NEW     %-32s ns/op=%s allocs/op=%s (no reference)\n", pname, pns, pallocs
 		next
 	}
-	gated = (pname ~ /^E[0-9]/)
 	nslim = rns[pname] * (1 + tol / 100)
-	allocslim = rallocs[pname] * (1 + tol / 100)
+	# Small absolute grace on top of the percentage: micro-benches with
+	# near-zero allocs/op (e.g. the runtime-internal residue of ~2 in the
+	# soak) must not flap on +/-1 jitter; real regressions are thousands.
+	allocslim = rallocs[pname] * (1 + tol / 100) + 16
 	verdict = "ok"
-	if (gated && (pns + 0 > nslim || pallocs + 0 > allocslim)) {
+	if (!gated(pname)) {
+		verdict = "ungated"
+	} else if (pns + 0 > nslim || pallocs + 0 > allocslim) {
 		verdict = "REGRESSED"
 		fail = 1
-	} else if (!gated) {
-		verdict = "ungated"
 	}
-	printf "%-9s %-24s ns/op %s -> %s, allocs/op %s -> %s\n", \
+	printf "%-9s %-32s ns/op %s -> %s, allocs/op %s -> %s\n", \
 		verdict, pname, rns[pname], pns, rallocs[pname], pallocs
 }
 END {
