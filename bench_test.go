@@ -208,3 +208,24 @@ func BenchmarkE12BurstLoss(b *testing.B) {
 		return t.Rows[0][1] == "100%" && t.Rows[1][1] == "100%"
 	})
 }
+
+// BenchmarkE13FirstHopRogue — the hostile first hop on the mesh is caught
+// end to end while the per-hop links stay blind, and the download survives.
+func BenchmarkE13FirstHopRogue(b *testing.B) {
+	benchTable(b, experiments.E13FirstHopRogue, func(t experiments.Table) bool {
+		return t.Rows[1][1] == "100%" && t.Rows[1][2] != "0.0" && t.Rows[1][3] == "0.0"
+	})
+}
+
+// BenchmarkE14RelayChainChaos — the mesh tunnel recovers from every chaos
+// schedule, rekeying into the same session across relay failover.
+func BenchmarkE14RelayChainChaos(b *testing.B) {
+	benchTable(b, experiments.E14RelayChainChaos, func(t experiments.Table) bool {
+		for _, r := range t.Rows {
+			if r[1] != "100%" || r[2] != "100%" {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper-reproduction tables (DESIGN.md
-// E1–E12). Run everything:
+// E1–E14). Run everything:
 //
 //	go run ./cmd/experiments
 //
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (e1,e2,e2b,e2c,e2d,e3,e4,e5,e6,e7,e8,e9,e10,e11,e12) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1,e2,e2b,e2c,e2d,e3,e4,e5,e6,e7,e8,e9,e10,e11,e12,e13,e14) or 'all'")
 	trials := flag.Int("trials", 5, "trials per sweep point")
 	quick := flag.Bool("quick", false, "reduce the heaviest experiments")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -89,6 +89,8 @@ func main() {
 		{"e10", experiments.E10DeauthStorm},
 		{"e11", experiments.E11APOutage},
 		{"e12", experiments.E12BurstLoss},
+		{"e13", experiments.E13FirstHopRogue},
+		{"e14", experiments.E14RelayChainChaos},
 	}
 	ran := 0
 	for _, e := range list {

@@ -4,9 +4,12 @@
 //
 //	go run ./cmd/roguesim -scenario attack
 //	go run ./cmd/roguesim -scenario vpn
+//	go run ./cmd/roguesim -scenario mesh
 //	go run ./cmd/roguesim -scenario healthy -seed 7
 //	go run ./cmd/roguesim -scenario detect
 //	go run ./cmd/roguesim -scenario vpn -faults ap-restart
+//	go run ./cmd/roguesim -scenario chaos-relay
+//	go run ./cmd/roguesim -scenario mesh -faults relay-drop
 //	go run ./cmd/roguesim -scenario healthy -faults "deauth@5s+10s(interval=100ms)"
 //	go run ./cmd/roguesim -faults list
 //

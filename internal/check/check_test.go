@@ -51,6 +51,16 @@ func TestScenarioOutcomesStable(t *testing.T) {
 		if !vpn.Download.Clean() {
 			t.Errorf("seed %d: vpn scenario download was not clean", seed)
 		}
+		mesh, err := core.RunScenario("mesh", seed, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mesh.VPNUp {
+			t.Errorf("seed %d: mesh scenario tunnel did not come up (err %v)", seed, mesh.VPNErr)
+		}
+		if !mesh.Download.Clean() {
+			t.Errorf("seed %d: mesh scenario download was not clean", seed)
+		}
 		det, err := core.RunScenario("detect", seed, true)
 		if err != nil {
 			t.Fatal(err)
@@ -75,7 +85,7 @@ func TestScenarioOutcomesStable(t *testing.T) {
 // "eventually" polling anywhere, so a recovery that merely *usually* happens
 // in time fails here.
 func TestChaosConvergence(t *testing.T) {
-	for _, name := range []string{"chaos-deauth", "chaos-apcrash", "chaos-burst"} {
+	for _, name := range []string{"chaos-deauth", "chaos-apcrash", "chaos-burst", "chaos-relay"} {
 		t.Run(name, func(t *testing.T) {
 			for _, seed := range determinismSeeds {
 				o, err := core.RunScenario(name, seed, true)

@@ -93,15 +93,21 @@ func TestWorldFaultsBadScheduleRejected(t *testing.T) {
 
 // TestBuiltinsWorkAgainstFullWorld runs every builtin schedule against the
 // fully assembled world (VPN included, so the partition fault has targets)
-// and requires convergence — no builtin may strand the network.
+// and requires convergence — no builtin may strand the network. Builtins
+// that target overlay relays run against the mesh scenario, the only one
+// with those hosts.
 func TestBuiltinsWorkAgainstFullWorld(t *testing.T) {
 	for _, name := range faults.BuiltinNames() {
-		o, err := RunScenarioFaults("vpn", 1, true, name)
+		scenario := "vpn"
+		if name == "relay-drop" {
+			scenario = "mesh"
+		}
+		o, err := RunScenarioFaults(scenario, 1, true, name)
 		if err != nil {
 			t.Fatalf("builtin %q: %v", name, err)
 		}
 		if !o.Converged {
-			t.Errorf("builtin %q: vpn scenario did not converge", name)
+			t.Errorf("builtin %q: %s scenario did not converge", name, scenario)
 		}
 	}
 }

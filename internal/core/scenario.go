@@ -49,8 +49,8 @@ type ScenarioOutcome struct {
 // ScenarioNames lists every runnable scenario, in a fixed order.
 func ScenarioNames() []string {
 	return []string{
-		"healthy", "attack", "vpn", "detect",
-		"chaos-deauth", "chaos-apcrash", "chaos-burst",
+		"healthy", "attack", "vpn", "mesh", "detect",
+		"chaos-deauth", "chaos-apcrash", "chaos-burst", "chaos-relay",
 	}
 }
 
@@ -69,6 +69,17 @@ func ScenarioConfig(name string, seed uint64) (Config, error) {
 		cfg.Rogue = true
 		cfg.RogueCloneBSSID = true
 		cfg.VPNServer = true
+		rogueGeometry(&cfg)
+	case "mesh":
+		// The defended download rides the multi-hop overlay: the victim's
+		// tunnel reaches the trusted endpoint through a relay chain instead
+		// of a point-to-point carrier, with the rogue herding the victim
+		// exactly as in the vpn scenario.
+		cfg.WEPKey = wep.Key40FromString("SECRET")
+		cfg.Rogue = true
+		cfg.RogueCloneBSSID = true
+		cfg.Overlay = true
+		cfg.VPNKeepalive = 2 * sim.Second
 		rogueGeometry(&cfg)
 	case "detect":
 		cfg.Rogue = true
@@ -89,6 +100,13 @@ func ScenarioConfig(name string, seed uint64) (Config, error) {
 	case "chaos-burst":
 		// A long Gilbert–Elliott bad-air window chews on the download.
 		cfg.Faults = "burst-loss"
+	case "chaos-relay":
+		// The overlay's first-hop relay is partitioned mid-download: the
+		// mesh withdraws its routes, the tunnel's DPD fires, and the chain
+		// is rebuilt through the surviving relay — rekeyed, same tunnel IP.
+		cfg.Overlay = true
+		cfg.VPNKeepalive = 2 * sim.Second
+		cfg.Faults = "relay-drop"
 	default:
 		return Config{}, fmt.Errorf("core: unknown scenario %q", name)
 	}
@@ -165,6 +183,10 @@ func runDownloadScenario(name string, cfg Config) *ScenarioOutcome {
 		} else {
 			o.milestonef("VPN tunnel up: false (err %v)", o.VPNErr)
 		}
+		if w.Cfg.Overlay {
+			o.milestonef("overlay: client links up %d, route to exit: %q",
+				w.OverlayClient.LinksUp(), w.OverlayClient.RouteDump())
+		}
 	}
 
 	w.VictimDownload(func(r DownloadResult) { o.Download = r })
@@ -180,6 +202,10 @@ func runDownloadScenario(name string, cfg Config) *ScenarioOutcome {
 			(!w.Cfg.VPNServer || (w.VictimVPN != nil && w.VictimVPN.Up()))
 		o.milestonef("chaos converged: %v (faults applied %d, reverted %d)",
 			o.Converged, w.Faults.Applied, w.Faults.Reverted)
+		if w.Cfg.Overlay && w.VictimVPN != nil {
+			o.milestonef("overlay healing: link reconnects %d, tunnel peer timeouts %d, rekeys %d",
+				w.OverlayClient.LinkReconnects(), w.VictimVPN.PeerTimeouts, w.VictimVPN.Rekeys)
+		}
 	}
 	o.Digest = w.Kernel.Digest()
 	return o

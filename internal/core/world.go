@@ -31,6 +31,11 @@ var (
 	WebServerIP    = inet.MustParseAddr("198.18.0.80")
 	VPNEndpointIP  = inet.MustParseAddr("198.18.0.44")
 
+	// Overlay relay hosts (Config.Overlay): two independent first hops, so
+	// the mesh always has an alternate chain to fail over to.
+	Relay1IP = inet.MustParseAddr("198.18.0.51")
+	Relay2IP = inet.MustParseAddr("198.18.0.52")
+
 	// TunnelPrefix is the VPN virtual subnet.
 	TunnelPrefix = inet.MustParsePrefix("10.99.0.0/24")
 )
@@ -99,6 +104,17 @@ type Config struct {
 	// detection and self-healing reconnect at this probe interval.
 	VPNKeepalive sim.Time
 
+	// Overlay replaces the point-to-point tunnel carrier with the multi-hop
+	// mesh: two relay hosts on the backbone, an exit node co-located with
+	// the trusted endpoint, and a client node on the victim dialing both
+	// relays. The victim's tunnel then rides an overlay stream and fails
+	// over to the surviving chain when a relay dies. Implies VPNServer.
+	Overlay bool
+	// OverlayKeepalive is the per-link DPD probe interval of the mesh links
+	// (default 1 s when Overlay is set; the links always need liveness — a
+	// partitioned relay produces silence, not a TCP reset).
+	OverlayKeepalive sim.Time
+
 	// Faults names a chaos schedule for this world: either a builtin name
 	// (faults.BuiltinNames) or a raw schedule string like
 	// "apcrash@35s+3s;burst@50s+20s(loss=0.8)". Empty means no fault
@@ -139,6 +155,12 @@ func (c *Config) fill() {
 		c.TrojanContents = []byte("TROJANED-SOFTWARE :: looks the same, " +
 			"plus a rootkit the user did not intend to run\n")
 	}
+	if c.Overlay {
+		c.VPNServer = true
+		if c.OverlayKeepalive == 0 {
+			c.OverlayKeepalive = sim.Second
+		}
+	}
 }
 
 // World is a fully assembled scenario.
@@ -165,6 +187,13 @@ type World struct {
 
 	VPNHost   *Host
 	VPNServer *vpn.Server
+
+	// Overlay mesh (Cfg.Overlay): relay hosts and the four overlay nodes.
+	Relay1, Relay2 *Host
+	OverlayExit    *vpn.Node
+	OverlayRelay1  *vpn.Node
+	OverlayRelay2  *vpn.Node
+	OverlayClient  *vpn.Node
 
 	Victim       *WirelessHost
 	VictimClient *httpx.Client
@@ -238,9 +267,12 @@ func NewWorld(cfg Config) *World {
 		w.VPNHost.IP.AddDefaultRoute(RouterBackbone, "eth0")
 		sCfg := vpn.ServerConfig{PSK: w.vpnPSK(), Carrier: cfg.VPNCarrier, TunnelPrefix: TunnelPrefix}
 		var err error
-		if cfg.VPNCarrier == vpn.CarrierUDP {
+		switch {
+		case cfg.Overlay:
+			w.buildOverlayMesh(sCfg)
+		case cfg.VPNCarrier == vpn.CarrierUDP:
 			w.VPNServer, err = vpn.NewServerUDP(w.VPNHost.IP, w.VPNHost.UDP, sCfg)
-		} else {
+		default:
 			w.VPNServer, err = vpn.NewServerTCP(w.VPNHost.IP, w.VPNHost.TCP, sCfg)
 		}
 		if err != nil {
@@ -251,6 +283,14 @@ func NewWorld(cfg Config) *World {
 	// --- Victim laptop. ---
 	w.Victim = w.newWirelessHost("victim", VictimMAC, VictimIP, cfg.VictimPos, cfg.VictimJoinPolicy)
 	w.VictimClient = httpx.NewClient(w.Victim.TCP)
+	if cfg.Overlay {
+		// The victim's overlay node dials both relays from the start; the
+		// links live on the reconnect ladder until the victim associates,
+		// then come up and learn the route to the exit.
+		w.OverlayClient = vpn.NewNode(w.Victim.IP, w.Victim.TCP, w.overlayNodeConfig("wanderer", vpn.RoleClient, nil))
+		w.OverlayClient.AddPeer(inet.HostPort{Addr: Relay1IP, Port: vpn.OverlayPort})
+		w.OverlayClient.AddPeer(inet.HostPort{Addr: Relay2IP, Port: vpn.OverlayPort})
+	}
 
 	// --- The attacker. ---
 	if cfg.Rogue {
@@ -280,6 +320,12 @@ func (w *World) installFaults() {
 	if w.VPNHost != nil {
 		hosts["vpn-endpoint"] = w.VPNHost.IP
 	}
+	if w.Relay1 != nil {
+		hosts["relay1"] = w.Relay1.IP
+	}
+	if w.Relay2 != nil {
+		hosts["relay2"] = w.Relay2.IP
+	}
 	eng := faults.New(w.Kernel, faults.Targets{
 		Medium:    w.Medium,
 		AP:        w.CorpAP,
@@ -302,6 +348,57 @@ func (w *World) installFaults() {
 
 // vpnPSK is the preestablished out-of-band secret.
 func (w *World) vpnPSK() []byte { return []byte("corp-vpn-preshared-secret") }
+
+// overlayNodeConfig builds one mesh node's config with the world's shared
+// link parameters. Snappy link healing (1 s probes, 3 s silence budget,
+// 500 ms–8 s backoff) keeps relay failover well inside the tunnel-level DPD
+// budget the scenarios use.
+func (w *World) overlayNodeConfig(name string, role vpn.Role, advertise []inet.Prefix) vpn.NodeConfig {
+	return vpn.NodeConfig{
+		Name: name, Role: role, PSK: w.vpnPSK(), Advertise: advertise,
+		Keepalive:        w.Cfg.OverlayKeepalive,
+		HandshakeTimeout: 2 * sim.Second,
+		BackoffBase:      500 * sim.Millisecond,
+		BackoffMax:       8 * sim.Second,
+	}
+}
+
+// buildOverlayMesh stands up the relay hosts and overlay nodes: an exit on
+// the trusted endpoint host advertising its address, two relays peered with
+// it, and the tunnel server terminating overlay streams at the exit. The
+// victim's client node is added later, once the victim exists.
+func (w *World) buildOverlayMesh(sCfg vpn.ServerConfig) {
+	mkRelay := func(name string, addr inet.Addr) *Host {
+		h := newHost(w.Kernel, name)
+		h.AttachWired(w.BackboneSwitch, &w.Alloc, "eth0", addr, BackbonePrefix)
+		h.IP.AddDefaultRoute(RouterBackbone, "eth0")
+		return h
+	}
+	w.Relay1 = mkRelay("relay1", Relay1IP)
+	w.Relay2 = mkRelay("relay2", Relay2IP)
+
+	exitPrefix := []inet.Prefix{{Addr: VPNEndpointIP, Bits: 32}}
+	w.OverlayExit = vpn.NewNode(w.VPNHost.IP, w.VPNHost.TCP, w.overlayNodeConfig("exit", vpn.RoleExit, exitPrefix))
+	if err := w.OverlayExit.Listen(); err != nil {
+		panic(err)
+	}
+	mkNode := func(name string, h *Host) *vpn.Node {
+		n := vpn.NewNode(h.IP, h.TCP, w.overlayNodeConfig(name, vpn.RoleRelay, nil))
+		if err := n.Listen(); err != nil {
+			panic(err)
+		}
+		n.AddPeer(inet.HostPort{Addr: VPNEndpointIP, Port: vpn.OverlayPort})
+		return n
+	}
+	w.OverlayRelay1 = mkNode("relay1", w.Relay1)
+	w.OverlayRelay2 = mkNode("relay2", w.Relay2)
+
+	srv, err := vpn.NewServerStream(w.OverlayExit, sCfg)
+	if err != nil {
+		panic(err)
+	}
+	w.VPNServer = srv
+}
 
 func (w *World) newWirelessHost(name string, mac ethernet.MAC, ip inet.Addr, pos phy.Position, policy dot11.JoinPolicy) *WirelessHost {
 	radio := w.Medium.AddRadio(phy.RadioConfig{Name: name, Pos: pos, Channel: 1})
@@ -393,9 +490,12 @@ func (w *World) EnableVictimVPN(split []inet.Prefix, done func(err error)) {
 	}
 	var cli *vpn.Client
 	var err error
-	if w.Cfg.VPNCarrier == vpn.CarrierUDP {
+	switch {
+	case w.Cfg.Overlay:
+		cli, err = vpn.ConnectOverlay(w.Victim.IP, w.OverlayClient, cfg)
+	case w.Cfg.VPNCarrier == vpn.CarrierUDP:
 		cli, err = vpn.ConnectUDP(w.Victim.IP, w.Victim.UDP, cfg)
-	} else {
+	default:
 		cli, err = vpn.ConnectTCP(w.Victim.IP, w.Victim.TCP, cfg)
 	}
 	if err != nil {

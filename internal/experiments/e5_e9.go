@@ -376,5 +376,7 @@ func All(s Scale) []Table {
 		E10DeauthStorm(s),
 		E11APOutage(s),
 		E12BurstLoss(s),
+		E13FirstHopRogue(s),
+		E14RelayChainChaos(s),
 	}
 }

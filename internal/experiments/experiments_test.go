@@ -242,6 +242,60 @@ func TestE12Shape(t *testing.T) {
 	}
 }
 
+func TestE13Shape(t *testing.T) {
+	tbl := E13FirstHopRogue(tiny)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	// Both configurations download clean — the mesh survives its traitor.
+	for i := range tbl.Rows {
+		if mustCell(t, tbl, i, 1) != "100%" {
+			t.Fatalf("row %d not clean: %v", i, tbl.Rows[i])
+		}
+	}
+	// Honest chain: nothing mangled, nothing detected.
+	if mustCell(t, tbl, 0, 2) != "0.0" || mustCell(t, tbl, 0, 4) != "0.0" {
+		t.Fatalf("honest row saw tampering: %v", tbl.Rows[0])
+	}
+	// Hostile chain: records were mangled, every layer that CAN see it did,
+	// and the layer that cannot (per-hop link MACs) stayed silent.
+	if mustCell(t, tbl, 1, 4) == "0.0" {
+		t.Fatalf("hostile relay mangled nothing: %v", tbl.Rows[1])
+	}
+	if mustCell(t, tbl, 1, 2) == "0.0" {
+		t.Fatalf("mangling went undetected end to end: %v", tbl.Rows[1])
+	}
+	if mustCell(t, tbl, 1, 3) != "0.0" {
+		t.Fatalf("per-hop MACs flagged tampering that must be invisible to them: %v", tbl.Rows[1])
+	}
+	// Anonymity: the exit's view of the client is the pseudonym, not an IP.
+	if got := mustCell(t, tbl, 1, 5); got != `"wanderer"` {
+		t.Fatalf("exit sees client as %s", got)
+	}
+}
+
+func TestE14Shape(t *testing.T) {
+	tbl := E14RelayChainChaos(tiny)
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for i, r := range tbl.Rows {
+		if r[1] != "100%" || r[2] != "100%" {
+			t.Fatalf("row %d did not recover: %v", i, r)
+		}
+	}
+	// The relay-drop row must actually exercise the failover machinery:
+	// tunnel DPD fired and the rebuilt chain rekeyed.
+	if mustCell(t, tbl, 1, 3) == "0.0" || mustCell(t, tbl, 1, 4) == "0.0" {
+		t.Fatalf("relay-drop row saw no DPD/rekey: %v", tbl.Rows[1])
+	}
+	// The brief link-flap must stay inside the DPD budget — graceful
+	// degradation, not a teardown.
+	if mustCell(t, tbl, 4, 4) != "0.0" {
+		t.Fatalf("link-flap tripped DPD: %v", tbl.Rows[4])
+	}
+}
+
 // TestParallelSweepsMatchSequential pins the tentpole's determinism claim:
 // every table fans its trials out through core.Sweep, and fanning across
 // workers must not change a single byte of any rendered table. GOMAXPROCS=1

@@ -299,6 +299,11 @@ func Builtins() map[string]string {
 		"burst-loss": "burst@12s+45s(pgb=0.02,pbg=0.25,loss=0.9)",
 		// The victim's own radio blinks three times.
 		"link-flap": "linkflap@15s+500ms*3/5s",
+		// The overlay's first-hop relay drops off the network mid-download:
+		// the mesh must withdraw its routes and fail the tunnel over to the
+		// alternate relay chain. Needs a world with relay hosts
+		// (core.Config.Overlay).
+		"relay-drop": "partition@35s+8s(host=relay1)",
 		// Everything at once, non-overlapping: storm, reboot, burst, bitrot.
 		"mixed": "deauth@2s+4s;apcrash@20s+2s;burst@30s+20s(loss=0.8);corrupt@55s+5s(p=0.02)",
 	}

@@ -130,11 +130,14 @@ type Kernel struct {
 
 // NewKernel returns a kernel at t=0 whose random source is seeded with seed.
 func NewKernel(seed uint64) *Kernel {
+	// The wheel slot table (slots) is allocated lazily on the first
+	// near-future insert (wheel.go): experiment sweeps build thousands of
+	// short-lived kernels, and the table is the largest single-shot
+	// allocation a kernel makes.
 	return &Kernel{
 		rng:     NewRNG(seed),
 		digest:  newTraceDigest(),
 		bufPool: pkt.NewPool(),
-		slots:   make([][]*Event, wheelSlots),
 	}
 }
 

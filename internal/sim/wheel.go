@@ -117,6 +117,12 @@ func (k *Kernel) insert(e *Event) {
 	case tk <= k.cursor:
 		heapPush(&k.cur, e)
 	case tk <= k.cursor+wheelSlots:
+		if k.slots == nil {
+			// Lazy slot table: ~100 KB per kernel, paid only once an event
+			// actually lands in the wheel window. Kernels that stay in the
+			// imminent heap or overflow tier never allocate it.
+			k.slots = make([][]*Event, wheelSlots)
+		}
 		s := tk & wheelMask
 		k.slots[s] = append(k.slots[s], e)
 		k.occ[s>>6] |= 1 << uint(s&63)

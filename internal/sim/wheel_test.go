@@ -196,3 +196,26 @@ func TestDrainedAtHandleCancelSafe(t *testing.T) {
 		t.Fatal("queue not empty")
 	}
 }
+
+// TestSlotTableLazy pins the lazy slot-table allocation: a kernel whose
+// events never land in the near-future wheel window — immediate fires and
+// far-future overflow only — must never pay the ~100 KB table, while the
+// first in-window insert allocates it exactly once.
+func TestSlotTableLazy(t *testing.T) {
+	k := NewKernel(1)
+	if k.slots != nil {
+		t.Fatal("NewKernel allocated the slot table eagerly")
+	}
+	k.Schedule(0, func() {})                                 // imminent tier
+	k.Schedule(Time(2)<<slotShift*wheelSlots, func() {})     // overflow tier
+	if k.slots != nil {
+		t.Fatal("imminent/overflow inserts allocated the slot table")
+	}
+	k.Schedule(Time(1)<<slotShift, func() {}) // first in-window event
+	if k.slots == nil {
+		t.Fatal("in-window insert did not allocate the slot table")
+	}
+	if k.Run() != 3 {
+		t.Fatalf("fired = %d, want all 3 queued events", k.fired)
+	}
+}

@@ -95,12 +95,13 @@ type Client struct {
 	abort    func()
 	timeout  *sim.Event
 
-	// Self-healing state (only active when cfg.Keepalive > 0).
-	lastRx     sim.Time
-	kaTimer    *sim.Event
+	// Self-healing state (only active when cfg.Keepalive > 0). The DPD loop
+	// and the reconnect ladder are the shared peer machinery (peer.go), so
+	// the end-to-end tunnel and every overlay hop heal identically.
+	ka         dpd
+	bo         backoff
 	rng        *sim.RNG
 	healing    bool
-	reconnectN int
 	hsGen      int
 	carrierGen int
 	redial     func()
@@ -149,11 +150,28 @@ func (c *Client) Up() bool { return c.state == stateUp }
 // between reconnect attempts.
 func (c *Client) Healing() bool { return c.healing }
 
+// newClient builds the carrier-independent parts: state, the reconnect
+// ladder, and the DPD loop (armed only once the tunnel is up).
+func newClient(ip *ipv4.Stack, cfg ClientConfig) *Client {
+	c := &Client{cfg: cfg, ip: ip, state: stateIdle}
+	c.bo = backoff{base: cfg.ReconnectBackoffBase, max: cfg.ReconnectBackoffMax}
+	c.ka = dpd{
+		k: ip.Kernel(), interval: cfg.Keepalive, timeout: cfg.PeerTimeout,
+		live: func() bool { return c.state == stateUp },
+		probe: func() {
+			c.KeepalivesSent++
+			c.sendMsg(frame(msgKeepalive, c.seal.seal(nil)))
+		},
+		expired: func() { c.peerDead() },
+	}
+	return c
+}
+
 // ConnectTCP brings the tunnel up over a TCP carrier (the paper's
 // PPP-over-SSH arrangement).
 func ConnectTCP(ip *ipv4.Stack, t *tcp.Stack, cfg ClientConfig) (*Client, error) {
 	cfg.fill()
-	c := &Client{cfg: cfg, ip: ip, state: stateIdle}
+	c := newClient(ip, cfg)
 	var cur *tcp.Conn
 	attach := func(conn *tcp.Conn) {
 		cur = conn
@@ -218,7 +236,7 @@ func ConnectTCP(ip *ipv4.Stack, t *tcp.Stack, cfg ClientConfig) (*Client, error)
 // ConnectUDP brings the tunnel up over a UDP carrier.
 func ConnectUDP(ip *ipv4.Stack, u *udp.Stack, cfg ClientConfig) (*Client, error) {
 	cfg.fill()
-	c := &Client{cfg: cfg, ip: ip, state: stateIdle}
+	c := newClient(ip, cfg)
 	sock, err := u.Bind(0)
 	if err != nil {
 		return nil, err
@@ -304,9 +322,7 @@ func (c *Client) fail(err error) {
 	if c.timeout != nil {
 		c.timeout.Cancel()
 	}
-	if c.kaTimer != nil {
-		c.kaTimer.Cancel()
-	}
+	c.ka.stop()
 	if c.abort != nil {
 		c.abort()
 	}
@@ -322,22 +338,22 @@ func (c *Client) handleMsg(msg []byte) {
 	typ, body := msg[0], msg[1:]
 	switch typ {
 	case msgServerHello:
-		if c.state != stateHello || len(body) != nonceLen+32 {
+		if c.state != stateHello {
 			return
 		}
-		nonceS := body[:nonceLen]
+		nonceS, proof, ok := splitServerHello(body)
+		if !ok {
+			return
+		}
 		// Authenticate the SERVER before anything else: paper §5.2 — a
 		// hotspot-provided endpoint proves nothing; ours must know the PSK.
-		want := authTag(c.cfg.PSK, "server", c.nonceC, nonceS)
-		if !bytes.Equal(body[nonceLen:], want) {
+		if !bytes.Equal(proof, authTag(c.cfg.PSK, "server", c.nonceC, nonceS)) {
 			c.fail(ErrServerAuth)
 			return
 		}
-		keys := deriveKeys(c.cfg.PSK, c.nonceC, nonceS)
-		c.seal = newSealer(keys.encC2S, keys.macC2S[:])
-		c.open = newOpener(keys.encS2C, keys.macS2C[:])
+		c.seal, c.open = initiatorKeys(c.cfg.PSK, c.nonceC, nonceS)
 		c.state = stateAuth
-		c.lastRx = c.ip.Kernel().Now()
+		c.ka.bump()
 		c.sendMsg(frame(msgClientAuth, authTag(c.cfg.PSK, "client", c.nonceC, nonceS)))
 	case msgAssignIP:
 		if c.state != stateAuth {
@@ -350,7 +366,7 @@ func (c *Client) handleMsg(msg []byte) {
 		var ip inet.Addr
 		copy(ip[:], plain[:4])
 		c.tunnelIP = ip
-		c.lastRx = c.ip.Kernel().Now()
+		c.ka.bump()
 		bits := int(plain[4])
 		mask := inet.Prefix{Bits: bits}.Mask().Uint32()
 		c.bringUp(inet.Prefix{Addr: inet.AddrFromUint32(ip.Uint32() & mask), Bits: bits})
@@ -363,7 +379,7 @@ func (c *Client) handleMsg(msg []byte) {
 			return
 		}
 		c.PacketsIn++
-		c.lastRx = c.ip.Kernel().Now()
+		c.ka.bump()
 		c.tun.deliver(inner)
 	case msgKeepalive:
 		if c.state != stateUp || c.open == nil {
@@ -372,7 +388,7 @@ func (c *Client) handleMsg(msg []byte) {
 		if _, err := c.open.open(body); err != nil {
 			return
 		}
-		c.lastRx = c.ip.Kernel().Now()
+		c.ka.bump()
 	}
 }
 
@@ -418,16 +434,16 @@ func (c *Client) bringUp(prefix inet.Prefix) {
 		c.healing = false
 		c.Rekeys++
 	}
-	c.reconnectN = 0
+	c.bo.reset()
 	c.startKeepalive()
 	if c.OnUp != nil {
 		c.OnUp(c.tunnelIP)
 	}
 }
 
-// startKeepalive arms the dead-peer-detection loop. The RNG fork is lazy so
-// clients without keepalives never draw from the kernel RNG and existing
-// scenario digests are untouched.
+// startKeepalive arms the shared dead-peer-detection loop. The RNG fork is
+// lazy so clients without keepalives never draw from the kernel RNG and
+// existing scenario digests are untouched.
 func (c *Client) startKeepalive() {
 	if c.cfg.Keepalive <= 0 {
 		return
@@ -435,28 +451,7 @@ func (c *Client) startKeepalive() {
 	if c.rng == nil {
 		c.rng = c.ip.Kernel().RNG().Fork()
 	}
-	if c.kaTimer != nil {
-		c.kaTimer.Cancel()
-	}
-	c.lastRx = c.ip.Kernel().Now()
-	c.kaTick()
-}
-
-// kaTick sends one probe per interval and declares the peer dead after
-// PeerTimeout of authenticated silence.
-func (c *Client) kaTick() {
-	c.kaTimer = c.ip.Kernel().After(c.cfg.Keepalive, func() {
-		if c.state != stateUp {
-			return
-		}
-		if c.ip.Kernel().Now()-c.lastRx > c.cfg.PeerTimeout {
-			c.peerDead()
-			return
-		}
-		c.KeepalivesSent++
-		c.sendMsg(frame(msgKeepalive, c.seal.seal(nil)))
-		c.kaTick()
-	})
+	c.ka.start()
 }
 
 // peerDead transitions an up tunnel into the self-healing loop.
@@ -464,15 +459,11 @@ func (c *Client) peerDead() {
 	c.PeerTimeouts++
 	c.healing = true
 	c.state = stateIdle
-	if c.kaTimer != nil {
-		c.kaTimer.Cancel()
-	}
+	c.ka.stop()
 	c.scheduleReconnect()
 }
 
-// scheduleReconnect arms the next redial on the exponential ladder:
-// base·2ⁿ capped at max, plus seeded jitter so a fleet of clients does not
-// thunder back in lockstep.
+// scheduleReconnect arms the next redial on the shared exponential ladder.
 func (c *Client) scheduleReconnect() {
 	if c.state == stateDown {
 		return
@@ -480,17 +471,7 @@ func (c *Client) scheduleReconnect() {
 	if c.rng == nil {
 		c.rng = c.ip.Kernel().RNG().Fork()
 	}
-	d := c.cfg.ReconnectBackoffBase
-	for i := 0; i < c.reconnectN && d < c.cfg.ReconnectBackoffMax; i++ {
-		d *= 2
-	}
-	if d > c.cfg.ReconnectBackoffMax {
-		d = c.cfg.ReconnectBackoffMax
-	}
-	if c.reconnectN < 20 {
-		c.reconnectN++
-	}
-	d += c.rng.Jitter(c.cfg.ReconnectBackoffBase / 2)
+	d := c.bo.next(c.rng)
 	c.ip.Kernel().After(d, func() {
 		if c.state != stateIdle {
 			return

@@ -47,6 +47,14 @@ const (
 	msgKeepalive byte = 6
 )
 
+// MsgData and MsgKeepalive expose the sealed-record frame types: everything
+// an on-path observer without keys (E13's hostile relay) can classify from
+// the carrier framing, and therefore all it can selectively target.
+const (
+	MsgData      = msgData
+	MsgKeepalive = msgKeepalive
+)
+
 // nonceLen is the handshake nonce size.
 const nonceLen = 16
 

@@ -1,8 +1,8 @@
 package vpn
 
 import (
-	"bytes"
 	"fmt"
+	"sort"
 
 	"repro/internal/ethernet"
 	"repro/internal/inet"
@@ -64,9 +64,10 @@ type session struct {
 	seal     *sealer
 	open     *opener
 	stream   frameStream
-	nonceC   []byte
-	nonceS   []byte
-	authed   bool
+	hs       handshakeState
+	// gen is the carrier generation (stream carrier): bumped when a rebuilt
+	// chain attaches, so a stale pre-failover carrier cannot deliver.
+	gen int
 	// send transmits a framed message to this client over its carrier.
 	send func(msg []byte)
 }
@@ -97,6 +98,17 @@ func (s *Server) serverTunIP() inet.Addr {
 	return inet.AddrFromUint32(s.cfg.TunnelPrefix.Addr.Uint32() + 1)
 }
 
+// SessionIPs lists the assigned tunnel addresses of the authenticated
+// sessions in address order — a deterministic view of who holds a lease.
+func (s *Server) SessionIPs() []inet.Addr {
+	out := make([]inet.Addr, 0, len(s.sessions))
+	for ip := range s.sessions {
+		out = append(out, ip)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Uint32() < out[j].Uint32() })
+	return out
+}
+
 // TamperDetected sums MAC failures across sessions — evidence of on-path
 // modification attempts.
 func (s *Server) TamperDetected() uint64 {
@@ -123,7 +135,7 @@ func (s *Server) tunOutbound(ipPacket []byte) {
 		return
 	}
 	sess, ok := s.sessions[pkt.Dst]
-	if !ok || !sess.authed {
+	if !ok || !sess.hs.authed {
 		s.NoSessionDrops++
 		return
 	}
@@ -154,36 +166,25 @@ func (s *Server) handleMsg(sess *session, msg []byte) {
 	typ, body := msg[0], msg[1:]
 	switch typ {
 	case msgClientHello:
-		if len(body) != nonceLen {
+		// The shared handshakeState keeps hellos idempotent per client nonce
+		// (a UDP retransmit gets the SAME server nonce) and detects rekeys (a
+		// fresh nonce kills the old transcript; the full auth runs again).
+		resp, rekeyed, ok := sess.hs.onHello(s.ip.Kernel(), s.cfg.PSK, body)
+		if !ok {
 			return
 		}
-		// Idempotent per client nonce: a retransmitted hello (UDP carrier
-		// retry) must get the SAME server nonce, or an in-flight client
-		// auth would verify against the wrong transcript. A DIFFERENT nonce
-		// is a client-initiated rekey: the old transcript (and its record
-		// keys) dies here, and the full auth must run again.
-		if sess.nonceS == nil || !bytes.Equal(sess.nonceC, body) {
-			if sess.authed {
-				sess.authed = false
-				s.Rekeys++
-			}
-			sess.nonceC = append([]byte(nil), body...)
-			sess.nonceS = make([]byte, nonceLen)
-			s.ip.Kernel().RNG().Bytes(sess.nonceS)
+		if rekeyed {
+			s.Rekeys++
 		}
-		resp := append(append([]byte(nil), sess.nonceS...),
-			authTag(s.cfg.PSK, "server", sess.nonceC, sess.nonceS)...)
 		sess.send(frame(msgServerHello, resp))
 	case msgClientAuth:
-		if sess.nonceC == nil || sess.nonceS == nil {
+		switch sess.hs.onAuth(s.cfg.PSK, body) {
+		case authIgnore:
 			return
-		}
-		want := authTag(s.cfg.PSK, "client", sess.nonceC, sess.nonceS)
-		if !bytes.Equal(body, want) {
+		case authBad:
 			s.AuthFailures++
 			return
-		}
-		if sess.authed {
+		case authDup:
 			// Duplicate (UDP retry): the client may have missed the IP
 			// assignment; resend it under a fresh record sequence.
 			assign := make([]byte, 5)
@@ -192,9 +193,7 @@ func (s *Server) handleMsg(sess *session, msg []byte) {
 			sess.send(frame(msgAssignIP, sess.seal.seal(assign)))
 			return
 		}
-		keys := deriveKeys(s.cfg.PSK, sess.nonceC, sess.nonceS)
-		sess.seal = newSealer(keys.encS2C, keys.macS2C[:])
-		sess.open = newOpener(keys.encC2S, keys.macC2S[:])
+		sess.seal, sess.open = responderKeys(s.cfg.PSK, sess.hs.nonceC, sess.hs.nonceS)
 		// A rekeying session keeps its reserved tunnel address so the
 		// client's routes and inner connections survive the key change.
 		ip := sess.tunnelIP
@@ -207,14 +206,13 @@ func (s *Server) handleMsg(sess *session, msg []byte) {
 			sess.tunnelIP = ip
 			s.sessions[ip] = sess
 		}
-		sess.authed = true
 		s.Handshakes++
 		assign := make([]byte, 5)
 		copy(assign[:4], ip[:])
 		assign[4] = byte(s.cfg.TunnelPrefix.Bits)
 		sess.send(frame(msgAssignIP, sess.seal.seal(assign)))
 	case msgData:
-		if !sess.authed {
+		if !sess.hs.authed {
 			return
 		}
 		inner, err := sess.open.open(body)
@@ -224,7 +222,7 @@ func (s *Server) handleMsg(sess *session, msg []byte) {
 		s.PacketsIn++
 		s.tun.deliver(inner)
 	case msgKeepalive:
-		if !sess.authed {
+		if !sess.hs.authed {
 			return
 		}
 		if _, err := sess.open.open(body); err != nil {
@@ -251,7 +249,7 @@ func NewServerTCP(ip *ipv4.Stack, t *tcp.Stack, cfg ServerConfig) (*Server, erro
 			}
 		}
 		c.OnClose = func(err error) {
-			if sess.authed {
+			if sess.hs.authed {
 				delete(s.sessions, sess.tunnelIP)
 			}
 		}

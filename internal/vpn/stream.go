@@ -1,0 +1,447 @@
+package vpn
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"repro/internal/inet"
+)
+
+// Virtual streams multiplexed over overlay links. A stream is opened toward
+// a destination address+port, relayed hop by hop along the routing table,
+// and terminated either by a registered handler on the destination node or
+// by an exit dialling the real TCP service. Each direction can half-close
+// (ovStreamClose, like a FIN); ovStreamReset tears both directions down at
+// once and propagates along the forwarding chain, so when any hop dies every
+// dependent stream fails fast instead of hanging.
+//
+// Frames ride inside the per-link sealed records (peer.sendFrame), so a
+// relay sees stream payloads — which is why the end-to-end tunnel seals its
+// own records before handing them to a stream. Stream IDs are per link:
+// the side that dialed the link allocates odd IDs, the accepting side even,
+// so simultaneous opens cannot collide.
+const (
+	ovRouteAdv    byte = 0x11
+	ovStreamOpen  byte = 0x12 // id(4) dstAddr(4) dstPort(2) originLen(1) origin
+	ovStreamData  byte = 0x13 // id(4) payload
+	ovStreamClose byte = 0x14 // id(4)  half-close: no more data this direction
+	ovStreamReset byte = 0x15 // id(4)  abort both directions
+)
+
+// maxOriginLen bounds the origin pseudonym.
+const maxOriginLen = 64
+
+// encodeStreamOpen packs an ovStreamOpen body.
+func encodeStreamOpen(id uint32, dst inet.HostPort, origin string) []byte {
+	if len(origin) > maxOriginLen {
+		origin = origin[:maxOriginLen]
+	}
+	out := make([]byte, 11+len(origin))
+	binary.BigEndian.PutUint32(out[0:4], id)
+	copy(out[4:8], dst.Addr[:])
+	binary.BigEndian.PutUint16(out[8:10], uint16(dst.Port))
+	out[10] = byte(len(origin))
+	copy(out[11:], origin)
+	return out
+}
+
+// decodeStreamOpen parses an ovStreamOpen body.
+func decodeStreamOpen(body []byte) (id uint32, dst inet.HostPort, origin string, ok bool) {
+	if len(body) < 11 {
+		return 0, inet.HostPort{}, "", false
+	}
+	n := int(body[10])
+	if n > maxOriginLen || len(body) != 11+n {
+		return 0, inet.HostPort{}, "", false
+	}
+	id = binary.BigEndian.Uint32(body[0:4])
+	copy(dst.Addr[:], body[4:8])
+	dst.Port = inet.Port(binary.BigEndian.Uint16(body[8:10]))
+	return id, dst, string(body[11:]), true
+}
+
+// streamID parses the id prefix shared by data/close/reset frames.
+func streamID(body []byte) (uint32, []byte, bool) {
+	if len(body) < 4 {
+		return 0, nil, false
+	}
+	return binary.BigEndian.Uint32(body[0:4]), body[4:], true
+}
+
+// linkStream is one stream's presence on one link. A transit stream has two
+// entries glued by fwd; a terminated stream has a local endpoint.
+type linkStream struct {
+	l     *link
+	id    uint32
+	fwd   *linkStream // forwarding pair on the next-hop link
+	local *Stream     // local endpoint (origin or terminator)
+
+	sentClose bool // we sent ovStreamClose on this link
+	recvClose bool // the peer sent ovStreamClose
+	gone      bool
+}
+
+// Stream is a local stream endpoint.
+type Stream struct {
+	ls *linkStream
+	// Origin is the originator's pseudonym (set on accepted streams). It is
+	// all a terminator ever learns about who is on the far end.
+	Origin string
+
+	// OnData delivers payload in order.
+	OnData func(b []byte)
+	// OnCloseRead fires when the peer half-closes (no more inbound data).
+	OnCloseRead func()
+	// OnClose fires exactly once when the stream is torn down: reset, link
+	// death, or clean completion (err nil after both directions closed).
+	OnClose func(err error)
+
+	closed bool
+}
+
+// register adds a stream entry to its link in deterministic order.
+func (l *link) register(ls *linkStream) {
+	l.streams[ls.id] = ls
+	l.order = append(l.order, ls.id)
+}
+
+// unregister removes a stream entry.
+func (l *link) unregister(ls *linkStream) {
+	ls.gone = true
+	delete(l.streams, ls.id)
+	for i, id := range l.order {
+		if id == ls.id {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// sendStream emits one stream frame on the link.
+func (l *link) sendStream(typ byte, id uint32, payload []byte) {
+	body := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(body[0:4], id)
+	copy(body[4:], payload)
+	l.p.sendFrame(typ, body)
+}
+
+// OpenStream originates a stream toward dst through the overlay, using the
+// node's name as the origin pseudonym. The returned stream is usable
+// immediately — relays forward optimistically; a routing failure comes back
+// as a reset.
+func (n *Node) OpenStream(dst inet.HostPort) (*Stream, error) {
+	l, err := n.forwardLink(dst.Addr)
+	if err != nil {
+		return nil, err
+	}
+	id := l.nextID
+	l.nextID += 2
+	st := &Stream{Origin: n.cfg.Name}
+	ls := &linkStream{l: l, id: id, local: st}
+	st.ls = ls
+	l.register(ls)
+	n.StreamsOpened++
+	l.p.sendFrame(ovStreamOpen, encodeStreamOpen(id, dst, n.cfg.Name))
+	return st, nil
+}
+
+// handleStreamOpen terminates or forwards a new stream from a neighbour.
+func (n *Node) handleStreamOpen(l *link, body []byte) {
+	id, dst, origin, ok := decodeStreamOpen(body)
+	if !ok {
+		return
+	}
+	if _, dup := l.streams[id]; dup {
+		// Protocol violation; kill the newcomer, keep the existing stream.
+		l.sendStream(ovStreamReset, id, nil)
+		return
+	}
+	if n.isLocalDst(dst.Addr) {
+		n.acceptStream(l, id, dst, origin)
+		return
+	}
+	// Transit. Clients never forward: a chain must not be routable through
+	// someone who only bought connectivity, and a hostile neighbour must not
+	// be able to bounce traffic off a victim.
+	if n.cfg.Role == RoleClient {
+		n.StreamsRefused++
+		l.sendStream(ovStreamReset, id, nil)
+		return
+	}
+	out, err := n.forwardLink(dst.Addr)
+	if err != nil || out == l {
+		n.StreamsRefused++
+		l.sendStream(ovStreamReset, id, nil)
+		return
+	}
+	outID := out.nextID
+	out.nextID += 2
+	in := &linkStream{l: l, id: id}
+	fw := &linkStream{l: out, id: outID, fwd: in}
+	in.fwd = fw
+	l.register(in)
+	out.register(fw)
+	n.StreamsForwarded++
+	out.p.sendFrame(ovStreamOpen, encodeStreamOpen(outID, dst, origin))
+}
+
+// acceptStream terminates a stream locally: a registered handler wins, an
+// exit's dial-out covers everything else it advertises.
+func (n *Node) acceptStream(l *link, id uint32, dst inet.HostPort, origin string) {
+	st := &Stream{Origin: origin}
+	ls := &linkStream{l: l, id: id, local: st}
+	st.ls = ls
+	l.register(ls)
+	if h, ok := n.handlers[dst.Port]; ok {
+		n.StreamsAccepted++
+		h(st)
+		return
+	}
+	if n.cfg.Role == RoleExit {
+		n.StreamsAccepted++
+		n.exitDial(st, dst)
+		return
+	}
+	n.StreamsRefused++
+	st.Reset()
+}
+
+// handleStreamData delivers or forwards one data frame.
+func (n *Node) handleStreamData(l *link, body []byte) {
+	id, payload, ok := streamID(body)
+	if !ok {
+		return
+	}
+	ls, ok := l.streams[id]
+	if !ok {
+		l.sendStream(ovStreamReset, id, nil) // unknown stream: tell them to stop
+		return
+	}
+	if ls.recvClose {
+		return // data after the peer's half-close: drop
+	}
+	switch {
+	case ls.fwd != nil:
+		if n.MangleForward != nil {
+			payload = n.MangleForward(payload)
+		}
+		n.FramesForwarded++
+		ls.fwd.l.sendStream(ovStreamData, ls.fwd.id, payload)
+	case ls.local != nil && ls.local.OnData != nil:
+		ls.local.OnData(payload)
+	}
+}
+
+// handleStreamClose processes a peer's half-close.
+func (n *Node) handleStreamClose(l *link, body []byte) {
+	id, _, ok := streamID(body)
+	if !ok {
+		return
+	}
+	ls, ok := l.streams[id]
+	if !ok || ls.recvClose {
+		return
+	}
+	ls.recvClose = true
+	if ls.fwd != nil {
+		// Propagate the FIN along the chain.
+		if !ls.fwd.sentClose {
+			ls.fwd.sentClose = true
+			ls.fwd.l.sendStream(ovStreamClose, ls.fwd.id, nil)
+		}
+		n.reapPair(ls)
+		return
+	}
+	if ls.local != nil {
+		if ls.local.OnCloseRead != nil {
+			ls.local.OnCloseRead()
+		}
+		n.reapLocal(ls, nil)
+	}
+}
+
+// handleStreamReset aborts a stream and propagates the reset.
+func (n *Node) handleStreamReset(l *link, body []byte) {
+	id, _, ok := streamID(body)
+	if !ok {
+		return
+	}
+	ls, ok := l.streams[id]
+	if !ok {
+		return
+	}
+	n.StreamResets++
+	l.unregister(ls)
+	if ls.fwd != nil {
+		pair := ls.fwd
+		ls.fwd = nil
+		pair.fwd = nil
+		pair.l.unregister(pair)
+		pair.l.sendStream(ovStreamReset, pair.id, nil)
+		return
+	}
+	if ls.local != nil {
+		ls.local.dead(ErrStreamReset)
+	}
+}
+
+// reapPair removes a fully-closed transit pair (both directions FINed).
+func (n *Node) reapPair(ls *linkStream) {
+	pair := ls.fwd
+	if pair == nil || !ls.recvClose || !pair.recvClose {
+		return
+	}
+	ls.l.unregister(ls)
+	pair.l.unregister(pair)
+}
+
+// reapLocal removes a fully-closed terminated stream and completes it.
+func (n *Node) reapLocal(ls *linkStream, err error) {
+	if !ls.recvClose || !ls.sentClose {
+		return
+	}
+	ls.l.unregister(ls)
+	if ls.local != nil {
+		ls.local.dead(err)
+	}
+}
+
+// resetLinkStreams fails every stream on a dead link: local endpoints
+// complete with err, forwarding pairs propagate a reset down the chain so
+// the far ends learn immediately. Iteration is over the recorded id order —
+// never the map — so teardown is deterministic.
+func (n *Node) resetLinkStreams(l *link, err error) {
+	ids := append([]uint32(nil), l.order...)
+	for _, id := range ids {
+		ls, ok := l.streams[id]
+		if !ok {
+			continue
+		}
+		l.unregister(ls)
+		if ls.fwd != nil {
+			pair := ls.fwd
+			ls.fwd = nil
+			pair.fwd = nil
+			pair.l.unregister(pair)
+			n.StreamResets++
+			pair.l.sendStream(ovStreamReset, pair.id, nil)
+			continue
+		}
+		if ls.local != nil {
+			ls.local.dead(err)
+		}
+	}
+	l.streams = make(map[uint32]*linkStream)
+	l.order = nil
+}
+
+// Write sends payload on the stream. Writes during failover are dropped
+// (the overlay is a datagram path for whole messages; the end-to-end layer
+// above owns retransmission), so Write never blocks and never errors.
+func (s *Stream) Write(b []byte) {
+	ls := s.ls
+	if s.closed || ls == nil || ls.gone || ls.sentClose {
+		return
+	}
+	ls.l.sendStream(ovStreamData, ls.id, b)
+}
+
+// CloseWrite half-closes the stream: no more data will be sent, the peer
+// sees a FIN. The read side stays open.
+func (s *Stream) CloseWrite() {
+	ls := s.ls
+	if s.closed || ls == nil || ls.gone || ls.sentClose {
+		return
+	}
+	ls.sentClose = true
+	ls.l.sendStream(ovStreamClose, ls.id, nil)
+	// If the peer already FINed, both directions are now closed.
+	ls.l.n.reapLocal(ls, nil)
+}
+
+// Reset aborts the stream in both directions.
+func (s *Stream) Reset() {
+	ls := s.ls
+	if s.closed || ls == nil || ls.gone {
+		s.dead(ErrStreamReset)
+		return
+	}
+	ls.l.unregister(ls)
+	ls.l.n.StreamResets++
+	ls.l.sendStream(ovStreamReset, ls.id, nil)
+	s.dead(ErrStreamReset)
+}
+
+// dead finishes the stream exactly once.
+func (s *Stream) dead(err error) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.OnClose != nil {
+		s.OnClose(err)
+	}
+}
+
+// exitDial bridges an accepted stream to the real TCP service at dst —
+// the exit's reason to exist. Bytes written before the dial completes are
+// buffered; stream half-close maps to TCP FIN and vice versa; errors on
+// either side reset the other, so neither half ever waits forever.
+func (n *Node) exitDial(st *Stream, dst inet.HostPort) {
+	conn, err := n.t.Dial(dst)
+	if err != nil {
+		st.Reset()
+		return
+	}
+	connected := false
+	finPending := false
+	var pending [][]byte
+	conn.OnConnect = func() {
+		connected = true
+		for _, b := range pending {
+			_ = conn.Write(b)
+		}
+		pending = nil
+		if finPending {
+			conn.Close()
+		}
+	}
+	st.OnData = func(b []byte) {
+		if !connected {
+			pending = append(pending, append([]byte(nil), b...))
+			return
+		}
+		_ = conn.Write(b)
+	}
+	st.OnCloseRead = func() {
+		if !connected {
+			finPending = true
+			return
+		}
+		conn.Close()
+	}
+	st.OnClose = func(err error) {
+		if err != nil {
+			conn.Abort()
+		}
+	}
+	conn.OnData = func(b []byte) { st.Write(b) }
+	conn.OnEOF = func() { st.CloseWrite() }
+	conn.OnClose = func(err error) {
+		if err != nil {
+			st.Reset()
+		} else {
+			st.CloseWrite()
+		}
+	}
+}
+
+// sortedStreamIDs is a test/debug helper: the ids active on a link.
+func (l *link) sortedStreamIDs() []uint32 {
+	ids := make([]uint32, 0, len(l.streams))
+	for id := range l.streams {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

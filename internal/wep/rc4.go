@@ -9,6 +9,8 @@
 // is to reproduce WEP's weaknesses faithfully, not to be secure.
 package wep
 
+import "encoding/binary"
+
 // RC4 is the RC4 stream cipher state.
 type RC4 struct {
 	s    [256]byte
@@ -61,16 +63,36 @@ func (c *RC4) Reset(key []byte) {
 
 // XORKeyStream XORs src with the cipher's keystream into dst. dst and src may
 // overlap completely (in-place) but must not partially overlap.
+//
+// The PRGA state updates are inherently serial (each swap feeds the next
+// index), but the XOR against src need not be byte-at-a-time: eight keystream
+// bytes accumulate into a word, then one 8-byte load/XOR/store moves the data.
+// E4's runtime is keystream-bound, and the wide store roughly halves it.
 func (c *RC4) XORKeyStream(dst, src []byte) {
 	if len(dst) < len(src) {
 		panic("wep: dst shorter than src")
 	}
 	i, j := c.i, c.j
-	for k, b := range src {
+	s := &c.s
+	n := len(src)
+	k := 0
+	for ; k+8 <= n; k += 8 {
+		var ks uint64
+		for b := 0; b < 64; b += 8 {
+			i++
+			j += s[i]
+			s[i], s[j] = s[j], s[i]
+			ks |= uint64(s[s[i]+s[j]]) << b
+		}
+		// Load before store: with dst == src (in-place) the word must be
+		// read intact before the XORed word overwrites it.
+		binary.LittleEndian.PutUint64(dst[k:], binary.LittleEndian.Uint64(src[k:])^ks)
+	}
+	for ; k < n; k++ {
 		i++
-		j += c.s[i]
-		c.s[i], c.s[j] = c.s[j], c.s[i]
-		dst[k] = b ^ c.s[c.s[i]+c.s[j]]
+		j += s[i]
+		s[i], s[j] = s[j], s[i]
+		dst[k] = src[k] ^ s[s[i]+s[j]]
 	}
 	c.i, c.j = i, j
 }

@@ -1,0 +1,65 @@
+package wep
+
+import (
+	"bytes"
+	"testing"
+)
+
+// rc4Ref is the byte-at-a-time PRGA the word-wide XORKeyStream replaced, kept
+// as the differential reference: the wide path must emit a byte-identical
+// keystream for every length, call split, and in-place use.
+func rc4Ref(c *RC4, dst, src []byte) {
+	i, j := c.i, c.j
+	for k, b := range src {
+		i++
+		j += c.s[i]
+		c.s[i], c.s[j] = c.s[j], c.s[i]
+		dst[k] = b ^ c.s[c.s[i]+c.s[j]]
+	}
+	c.i, c.j = i, j
+}
+
+// TestXORKeyStreamMatchesByteReference sweeps lengths across the 8-byte word
+// boundary (tails of every residue, including zero) and splits each message
+// into two calls at every offset, so a wide call can start and end mid-word.
+func TestXORKeyStreamMatchesByteReference(t *testing.T) {
+	key := []byte("wep-rc4-differential")
+	src := make([]byte, 70)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	for n := 0; n <= len(src); n++ {
+		for split := 0; split <= n; split++ {
+			wide, ref := NewRC4(key), NewRC4(key)
+			got, want := make([]byte, n), make([]byte, n)
+			wide.XORKeyStream(got[:split], src[:split])
+			wide.XORKeyStream(got[split:], src[split:n])
+			rc4Ref(ref, want[:split], src[:split])
+			rc4Ref(ref, want[split:], src[split:n])
+			if !bytes.Equal(got, want) {
+				t.Fatalf("n=%d split=%d: wide output diverges from byte reference", n, split)
+			}
+			if wide.i != ref.i || wide.j != ref.j || wide.s != ref.s {
+				t.Fatalf("n=%d split=%d: cipher state diverges from byte reference", n, split)
+			}
+		}
+	}
+}
+
+// TestXORKeyStreamInPlaceWide pins the in-place contract for the wide path:
+// the source word must be loaded before the XORed word is stored back.
+func TestXORKeyStreamInPlaceWide(t *testing.T) {
+	key := []byte{0x01, 0x02, 0x03, 0x04, 0x05}
+	msg := []byte("in-place words must read src before writing dst!")
+	buf := append([]byte(nil), msg...)
+	NewRC4(key).XORKeyStream(buf, buf)
+	want := make([]byte, len(msg))
+	rc4Ref(NewRC4(key), want, msg)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("in-place wide encryption diverges from byte reference")
+	}
+	NewRC4(key).XORKeyStream(buf, buf)
+	if !bytes.Equal(buf, msg) {
+		t.Fatal("in-place round trip did not restore plaintext")
+	}
+}

@@ -1,7 +1,7 @@
 #!/bin/sh
 # scripts/bench.sh — run the benchmark suite and emit a JSON summary:
 #
-#   - the root-package experiment benchmarks (E1–E12 and the chaos digest
+#   - the root-package experiment benchmarks (E1–E14 and the chaos digest
 #     matrix), once each (-benchtime 1x: they are whole experiments);
 #   - the sim kernel throughput benchmarks (events/sec at several standing
 #     queue depths, the reference-heap comparison, and the soak bench);
@@ -15,11 +15,11 @@
 #
 #   scripts/bench.sh [out.json [baseline]]
 #
-# out.json defaults to BENCH_PR6.json. baseline, when given, is either a
+# out.json defaults to BENCH_PR7.json. baseline, when given, is either a
 # saved `go test -bench` text output or a JSON file previously emitted by
-# this script (e.g. BENCH_PR5.json); its numbers are embedded per benchmark
+# this script (e.g. BENCH_PR6.json); its numbers are embedded per benchmark
 # as baseline_* fields for before/after comparison across a change. When no
-# baseline is named, BENCH_PR5.json is used if present.
+# baseline is named, BENCH_PR6.json is used if present.
 #
 # BENCH_NOTES, if set in the environment, is embedded verbatim as a "notes"
 # string — use it to record why a number was re-baselined.
@@ -27,10 +27,10 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR6.json}
+OUT=${1:-BENCH_PR7.json}
 BASELINE=${2:-}
-if [ -z "$BASELINE" ] && [ -f BENCH_PR5.json ] && [ "$OUT" != "BENCH_PR5.json" ]; then
-	BASELINE=BENCH_PR5.json
+if [ -z "$BASELINE" ] && [ -f BENCH_PR6.json ] && [ "$OUT" != "BENCH_PR6.json" ]; then
+	BASELINE=BENCH_PR6.json
 fi
 MICROTIME=${MICROTIME:-1s}
 TMP=$(mktemp)

@@ -1,10 +1,10 @@
 #!/bin/sh
 # scripts/bench_check.sh — benchmark regression gate. Re-runs the benchmark
 # suite via scripts/bench.sh and compares every gated benchmark against a
-# committed reference JSON (default BENCH_PR6.json): the gate fails if ns/op
+# committed reference JSON (default BENCH_PR7.json): the gate fails if ns/op
 # or allocs/op regressed by more than TOL percent (default 25).
 #
-# Gated: the E1–E12 experiment benchmarks, the sim kernel throughput
+# Gated: the E1–E14 experiment benchmarks, the sim kernel throughput
 # benchmarks (KernelEventsPerSec at every depth, KernelSoak), and the
 # per-layer marshal micro-benches (WEPSeal, TCPMarshal, IPv4Push,
 # Dot11Data). RefHeapEventsPerSec is reported but not gated — it is the
@@ -19,7 +19,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-REF=${1:-BENCH_PR6.json}
+REF=${1:-BENCH_PR7.json}
 TOL=${TOL:-25}
 if [ ! -f "$REF" ]; then
 	echo "bench_check: missing reference $REF" >&2
