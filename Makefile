@@ -37,7 +37,9 @@ RUN ?= all
 profile:
 	sh scripts/profile.sh $(RUN)
 
-# simvet is the repo's own determinism-and-safety linter (cmd/simvet).
+# simvet is the repo's own determinism-and-safety linter (cmd/simvet): the
+# five determinism analyzers plus the bufcheck ownership suite (bufleak,
+# bufuseafter, eventpool) and the //simvet:owner directive validator.
 simvet:
 	$(GO) run ./cmd/simvet ./...
 

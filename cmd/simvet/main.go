@@ -1,5 +1,5 @@
 // Command simvet runs the repository's determinism-and-safety analyzer suite
-// (internal/analysis) over Go package patterns:
+// (internal/analysis and internal/analysis/bufcheck) over Go package patterns:
 //
 //	go run ./cmd/simvet ./...
 //
@@ -8,23 +8,56 @@
 // typecheck). //simvet:allow suppressions are never silent: each one is
 // surfaced as a note on stderr together with its mandatory reason.
 //
-// The suite and the contract it enforces are documented in DESIGN.md §8.
+// With -json the run is emitted as a single machine-readable object on
+// stdout ({"diagnostics": […], "suppressions": […], "packages": N}), in the
+// same deterministic (file, line, analyzer) order as the text output; CI
+// turns it into GitHub ::error annotations (see scripts/simvet_annotate.sh).
+//
+// The suite and the contract it enforces are documented in DESIGN.md §8–§9.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	simvet "repro/internal/analysis"
+	_ "repro/internal/analysis/bufcheck" // registers bufleak, bufuseafter, eventpool
 	"repro/internal/analysis/driver"
 )
+
+// jsonReport is the -json output shape. Field order and slice order are
+// deterministic so the encoding is byte-stable across runs.
+type jsonReport struct {
+	Diagnostics  []jsonDiagnostic  `json:"diagnostics"`
+	Suppressions []jsonSuppression `json:"suppressions"`
+	Packages     int               `json:"packages"`
+}
+
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+type jsonSuppression struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Reason   string `json:"reason"`
+	Message  string `json:"message"`
+}
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
 	quiet := flag.Bool("q", false, "suppress the //simvet:allow notes and the summary line")
+	asJSON := flag.Bool("json", false, "emit the run as one JSON object on stdout instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: simvet [-list] [-q] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: simvet [-list] [-q] [-json] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the determinism contract analyzers (DESIGN.md §8) over the\ngiven package patterns (default ./...).\n\n")
 		flag.PrintDefaults()
 	}
@@ -48,6 +81,37 @@ func main() {
 		fmt.Fprintf(os.Stderr, "simvet: %v\n", err)
 		os.Exit(2)
 	}
+
+	if *asJSON {
+		report := jsonReport{
+			Diagnostics:  []jsonDiagnostic{},
+			Suppressions: []jsonSuppression{},
+			Packages:     res.Packages,
+		}
+		for _, d := range res.Diagnostics {
+			report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		for _, s := range res.Suppressions {
+			report.Suppressions = append(report.Suppressions, jsonSuppression{
+				File: s.Pos.Filename, Line: s.Pos.Line, Column: s.Pos.Column,
+				Analyzer: s.Analyzer, Reason: s.Reason, Message: s.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "simvet: %v\n", err)
+			os.Exit(2)
+		}
+		if len(res.Diagnostics) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
 	for _, d := range res.Diagnostics {
 		fmt.Printf("%s\n", d)
 	}

@@ -31,32 +31,8 @@ type directive struct {
 // directives. Malformed directives (no analyzer name, no reason, unknown
 // analyzer) are still returned; validation policy belongs to the callers.
 func parseDirectives(pass *analysis.Pass) []directive {
-	var out []directive
-	for _, f := range pass.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, allowPrefix) {
-					continue
-				}
-				rest := strings.TrimPrefix(c.Text, allowPrefix)
-				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-					continue // e.g. //simvet:allowlist — not our directive
-				}
-				fields := strings.Fields(rest)
-				d := directive{pos: c.Pos()}
-				p := pass.Fset.Position(c.Pos())
-				d.file, d.line = p.Filename, p.Line
-				if len(fields) > 0 {
-					d.analyzer = fields[0]
-				}
-				if len(fields) > 1 {
-					d.reason = strings.Join(fields[1:], " ")
-				}
-				out = append(out, d)
-			}
-		}
-	}
-	return out
+	allows, _ := scanDirectives(pass.Fset, pass.Files, pass.TypesInfo)
+	return allows
 }
 
 // Suppression records one diagnostic silenced by a //simvet:allow directive.
@@ -73,20 +49,22 @@ type Suppressions struct {
 	List []Suppression
 }
 
-// suppressionsType is shared by all rule analyzers so drivers can collect
+// SuppressionsType is shared by all rule analyzers so drivers can collect
 // suppression notes uniformly.
-var suppressionsType = reflect.TypeOf((*Suppressions)(nil))
+var SuppressionsType = reflect.TypeOf((*Suppressions)(nil))
 
 type fileLine struct {
 	file string
 	line int
 }
 
-// reporter filters an analyzer's diagnostics through the //simvet:allow
+// Reporter filters an analyzer's diagnostics through the //simvet:allow
 // directives of the package under analysis. Only well-formed directives
 // (known analyzer + non-empty reason) suppress; everything else passes
-// through untouched and is flagged separately by AllowAnalyzer.
-type reporter struct {
+// through untouched and is flagged separately by AllowAnalyzer. Rule
+// analyzers outside this package (internal/analysis/bufcheck) share it so
+// every simvet rule gets identical suppression semantics.
+type Reporter struct {
 	pass *analysis.Pass
 	sup  *Suppressions
 	// eligible maps a (file, line) a diagnostic may land on to the directive
@@ -100,9 +78,9 @@ type directiveUse struct {
 	used bool
 }
 
-// newReporter collects this analyzer's well-formed directives from the pass.
-func newReporter(pass *analysis.Pass) *reporter {
-	r := &reporter{pass: pass, sup: &Suppressions{}, eligible: make(map[fileLine]*directiveUse)}
+// NewReporter collects this analyzer's well-formed directives from the pass.
+func NewReporter(pass *analysis.Pass) *Reporter {
+	r := &Reporter{pass: pass, sup: &Suppressions{}, eligible: make(map[fileLine]*directiveUse)}
 	for _, d := range parseDirectives(pass) {
 		if d.analyzer != pass.Analyzer.Name || d.reason == "" {
 			continue
@@ -115,10 +93,10 @@ func newReporter(pass *analysis.Pass) *reporter {
 	return r
 }
 
-// reportf emits a diagnostic at rng unless a //simvet:allow directive for
+// Reportf emits a diagnostic at rng unless a //simvet:allow directive for
 // this analyzer covers the line, in which case the diagnostic is recorded as
 // a Suppression instead.
-func (r *reporter) reportf(rng analysis.Range, format string, args ...any) {
+func (r *Reporter) Reportf(rng analysis.Range, format string, args ...any) {
 	pos := r.pass.Fset.Position(rng.Pos())
 	if du, ok := r.eligible[fileLine{pos.Filename, pos.Line}]; ok {
 		du.used = true
@@ -134,11 +112,11 @@ func (r *reporter) reportf(rng analysis.Range, format string, args ...any) {
 	r.pass.ReportRangef(rng, format, args...)
 }
 
-// finish flags stale directives — well-formed allows that silenced nothing —
+// Finish flags stale directives — well-formed allows that silenced nothing —
 // and returns the suppression record for the driver. Stale allows are bugs:
 // they advertise a violation that no longer exists and would hide a future
 // regression on that line.
-func (r *reporter) finish() *Suppressions {
+func (r *Reporter) Finish() *Suppressions {
 	for _, du := range r.all {
 		if !du.used {
 			r.pass.Reportf(du.d.pos, "stale //simvet:allow %s directive: it suppresses no diagnostic; delete it", du.d.analyzer)
@@ -147,15 +125,23 @@ func (r *reporter) finish() *Suppressions {
 	return r.sup
 }
 
-// AllowAnalyzer validates //simvet:allow directive hygiene package-wide:
-// every directive must name a known analyzer and carry a reason. It emits no
-// suppressions itself and cannot be suppressed.
+// AllowAnalyzer validates simvet directive hygiene package-wide, covering
+// both directive vocabularies in one comment-scanning pass:
+//
+//   - //simvet:allow must name a known analyzer and carry a reason;
+//   - //simvet:owner must use a known mode (transfer|borrow), carry a reason,
+//     sit in the doc comment of a function declaration, and that function
+//     must actually have a *pkt.Buf parameter — anything else is stale or
+//     malformed and would advertise a contract nobody checks.
+//
+// It emits no suppressions itself and cannot be suppressed.
 var AllowAnalyzer = &analysis.Analyzer{
 	Name: "simvetallow",
-	Doc:  "check that every //simvet:allow directive names a known analyzer and carries a mandatory reason",
+	Doc:  "check that every //simvet:allow and //simvet:owner directive is well-formed, justified, and not stale",
 	Run: func(pass *analysis.Pass) (any, error) {
 		known := ruleNames()
-		for _, d := range parseDirectives(pass) {
+		allows, owners := scanDirectives(pass.Fset, pass.Files, pass.TypesInfo)
+		for _, d := range allows {
 			switch {
 			case d.analyzer == "":
 				pass.Reportf(d.pos, "//simvet:allow needs an analyzer and a reason: //simvet:allow <analyzer> <reason>")
@@ -163,6 +149,20 @@ var AllowAnalyzer = &analysis.Analyzer{
 				pass.Reportf(d.pos, "//simvet:allow names unknown analyzer %q (known: %s)", d.analyzer, strings.Join(knownNames(known), ", "))
 			case d.reason == "":
 				pass.Reportf(d.pos, "//simvet:allow %s is missing its mandatory reason; the violation stays reported until one is given", d.analyzer)
+			}
+		}
+		for _, od := range owners {
+			switch {
+			case od.ModeStr == "":
+				pass.Reportf(od.Pos, "//simvet:owner needs a mode and a reason: //simvet:owner transfer|borrow <reason>")
+			case od.Mode == OwnerUnknown:
+				pass.Reportf(od.Pos, "//simvet:owner names unknown mode %q (known: transfer, borrow)", od.ModeStr)
+			case od.Reason == "":
+				pass.Reportf(od.Pos, "//simvet:owner %s is missing its mandatory reason; the contract is ignored until one is given", od.ModeStr)
+			case od.Decl == nil:
+				pass.Reportf(od.Pos, "//simvet:owner must sit in the doc comment of the function whose contract it declares")
+			case od.Fn != nil && !HasBufParam(od.Fn):
+				pass.Reportf(od.Pos, "stale //simvet:owner %s directive: %s has no *pkt.Buf parameter; delete it", od.ModeStr, od.Decl.Name.Name)
 			}
 		}
 		return nil, nil

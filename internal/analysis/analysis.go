@@ -23,6 +23,22 @@
 //     and closures scheduled by generation-managed code must carry the
 //     generation-guard idiom from internal/vpn/client.go.
 //
+// The subpackage internal/analysis/bufcheck contributes three further
+// analyzers via Register — bufleak, bufuseafter and eventpool — which
+// enforce the pkt.Buf ownership contract and the event-pool discipline
+// (DESIGN.md §9.5) with a path-sensitive dataflow over each function's
+// go/cfg control-flow graph rather than syntax matching. Their ownership
+// vocabulary is a second directive, placed in the doc comment of the
+// function that implements the contract:
+//
+//	//simvet:owner transfer|borrow <reason>
+//
+// transfer moves the release obligation to the callee; borrow keeps it with
+// the caller. Directive hygiene (unknown mode, missing reason, function
+// without a *pkt.Buf parameter, directive outside a doc comment) is
+// validated by the simvetallow analyzer in the same scan pass that handles
+// suppressions; see owner.go.
+//
 // A finding can be silenced only by an explicit, justified directive on the
 // offending line (or the line above it):
 //
@@ -40,29 +56,48 @@ import (
 	"golang.org/x/tools/go/analysis"
 )
 
-// All returns the simvet rule analyzers plus the simvetallow directive
-// validator, in a stable order. This is the suite cmd/simvet runs.
-func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{
-		WalltimeAnalyzer,
-		GlobalrandAnalyzer,
-		MaporderAnalyzer,
-		TiebreakAnalyzer,
-		EventcaptureAnalyzer,
-		AllowAnalyzer,
+// registered holds rule analyzers contributed by subpackages — the bufcheck
+// ownership suite (internal/analysis/bufcheck) registers itself here from an
+// init, which keeps the dependency arrow pointing one way (bufcheck imports
+// this package for the directive/suppression machinery) while letting
+// //simvet:allow directives name the contributed analyzers. Registration
+// order is the subpackage's declaration order, so the suite stays stable.
+var registered []*analysis.Analyzer
+
+// Register adds rule analyzers to the simvet suite. Registering the same
+// analyzer name twice panics: the name is the //simvet:allow vocabulary and
+// must be unambiguous.
+func Register(as ...*analysis.Analyzer) {
+	for _, a := range as {
+		for _, have := range Rules() {
+			if have.Name == a.Name {
+				panic("simvet: duplicate analyzer name " + a.Name)
+			}
+		}
+		registered = append(registered, a)
 	}
 }
 
-// Rules returns just the five determinism-rule analyzers (no directive
-// validator); tests use it to exercise rules in isolation.
+// All returns the simvet rule analyzers plus the simvetallow directive
+// validator, in a stable order. This is the suite cmd/simvet runs. The
+// bufcheck analyzers appear only when internal/analysis/bufcheck has been
+// imported (cmd/simvet and the analysis tests import it).
+func All() []*analysis.Analyzer {
+	return append(Rules(), AllowAnalyzer)
+}
+
+// Rules returns just the rule analyzers (no directive validator): the five
+// determinism rules plus any registered subpackage rules. Tests use it to
+// exercise rules in isolation.
 func Rules() []*analysis.Analyzer {
-	return []*analysis.Analyzer{
+	base := []*analysis.Analyzer{
 		WalltimeAnalyzer,
 		GlobalrandAnalyzer,
 		MaporderAnalyzer,
 		TiebreakAnalyzer,
 		EventcaptureAnalyzer,
 	}
+	return append(base, registered...)
 }
 
 // ruleNames is the set of analyzer names a //simvet:allow directive may cite.

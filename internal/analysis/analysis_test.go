@@ -67,7 +67,7 @@ func TestAllowValidator(t *testing.T) {
 // TestSuiteNames pins the analyzer names: //simvet:allow directives reference
 // them in source, so renames are breaking changes.
 func TestSuiteNames(t *testing.T) {
-	want := []string{"walltime", "globalrand", "maporder", "tiebreak", "eventcapture", "simvetallow"}
+	want := []string{"walltime", "globalrand", "maporder", "tiebreak", "eventcapture", "bufleak", "bufuseafter", "eventpool", "simvetallow"}
 	all := simvet.All()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))

@@ -1,0 +1,188 @@
+package bufcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	simvet "repro/internal/analysis"
+)
+
+// EventpoolAnalyzer enforces kernel-event pool hygiene (DESIGN.md §8, PR 6):
+// sim.Kernel has two scheduling families — At/After return a *sim.Event
+// handle that exists only to be retained for Cancel, while Schedule/
+// ScheduleAfter recycle their Event through a freelist and hand nothing out.
+//
+//   - A discarded At/After handle is a pooling bug: the caller pays the
+//     handle allocation for nothing and blocks the event from the freelist;
+//     fire-and-forget events must use the pooled variants. (At → Schedule
+//     conversions are digest-neutral: the trace digest mixes only an event's
+//     time and sequence number, which both families share.)
+//   - A callback that cancels its own handle is a liveness bug dressed as
+//     cleanup: by the time the callback runs, the event has fired and Cancel
+//     is a no-op — unless the callback rescheduled through the same variable
+//     first, which is the legitimate timer-renewal idiom and is exempted.
+var EventpoolAnalyzer = &analysis.Analyzer{
+	Name:       "eventpool",
+	Doc:        "flag discarded At/After event handles (use pooled Schedule/ScheduleAfter) and callbacks canceling their own fired handle",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: simvet.SuppressionsType,
+	Run:        runEventpool,
+}
+
+func runEventpool(pass *analysis.Pass) (any, error) {
+	rep := simvet.NewReporter(pass)
+	if pass.Pkg.Name() == "sim" {
+		// The scheduler implements both families; its internals are exempt the
+		// same way pkt is for the buffer analyzers.
+		return rep.Finish(), nil
+	}
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.ExprStmt)(nil), (*ast.AssignStmt)(nil)}, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, name := kernelAtAfter(pass.TypesInfo, n.X); call != nil {
+				reportDiscard(rep, call, name)
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, rep, n)
+		}
+	})
+	return rep.Finish(), nil
+}
+
+// checkAssign covers the two assignment shapes: a handle bound to the blank
+// identifier (discard) and a handle bound to a variable whose callback
+// cancels it (self-cancel).
+func checkAssign(pass *analysis.Pass, rep *simvet.Reporter, n *ast.AssignStmt) {
+	for i, rhs := range n.Rhs {
+		call, name := kernelAtAfter(pass.TypesInfo, rhs)
+		if call == nil || i >= len(n.Lhs) {
+			continue
+		}
+		lhs := ast.Unparen(n.Lhs[i])
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			reportDiscard(rep, call, name)
+			continue
+		}
+		root, path := simplePath(pass.TypesInfo, lhs)
+		if root == nil {
+			continue
+		}
+		// Self-cancel: the scheduled closure cancels the very handle it was
+		// bound to, without first renewing it.
+		if len(call.Args) < 2 {
+			continue
+		}
+		lit, ok := call.Args[1].(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if cancel := selfCancel(pass.TypesInfo, lit, root, path); cancel != nil {
+			rep.Reportf(cancel, "callback cancels its own handle %s: the event has already fired when the callback runs, so Cancel is a no-op — reschedule through the variable first or drop the call", path)
+		}
+	}
+}
+
+func reportDiscard(rep *simvet.Reporter, call *ast.CallExpr, name string) {
+	pooled := "Schedule"
+	if name == "After" {
+		pooled = "ScheduleAfter"
+	}
+	rep.Reportf(call, "discards the *sim.Event handle returned by %s: the handle exists only to be retained for Cancel — use the pooled %s for fire-and-forget events", name, pooled)
+}
+
+// kernelAtAfter returns the call and method name when e is a call to At or
+// After on a value of a named type Kernel (matched by name, like the other
+// simvet analyzers, so single-package fixtures work).
+func kernelAtAfter(info *types.Info, e ast.Expr) (*ast.CallExpr, string) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, ""
+	}
+	if fn.Name() != "At" && fn.Name() != "After" {
+		return nil, ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Kernel" {
+		return nil, ""
+	}
+	// Only the handle-returning family is in scope: a Kernel whose At/After
+	// return nothing has no handle to discard.
+	if sig.Results().Len() != 1 {
+		return nil, ""
+	}
+	if _, ok := sig.Results().At(0).Type().(*types.Pointer); !ok {
+		return nil, ""
+	}
+	return call, fn.Name()
+}
+
+// simplePath reduces an lvalue to (root object, dotted path) when it is a
+// plain identifier or a selector chain off one (h, c.retry, s.timer.ev).
+// Anything with indexing or calls is not comparable and returns nil.
+func simplePath(info *types.Info, e ast.Expr) (types.Object, string) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.ObjectOf(e); obj != nil {
+			return obj, e.Name
+		}
+	case *ast.SelectorExpr:
+		root, path := simplePath(info, e.X)
+		if root != nil {
+			return root, path + "." + e.Sel.Name
+		}
+	}
+	return nil, ""
+}
+
+// selfCancel returns the offending Cancel call when lit's body cancels the
+// handle at (root, path) without any assignment to that path occurring in
+// the body (an assignment means the callback renews the timer — the
+// legitimate idiom — and the Cancel may target the new handle).
+func selfCancel(info *types.Info, lit *ast.FuncLit, root types.Object, path string) *ast.CallExpr {
+	var cancel *ast.CallExpr
+	renewed := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if r, p := simplePath(info, lhs); r == root && p == path {
+					renewed = true
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Cancel" {
+				return true
+			}
+			if r, p := simplePath(info, sel.X); r == root && p == path && cancel == nil {
+				cancel = n
+			}
+		}
+		return true
+	})
+	if renewed {
+		return nil
+	}
+	return cancel
+}

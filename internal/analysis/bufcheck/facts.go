@@ -1,0 +1,60 @@
+package bufcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+
+	simvet "repro/internal/analysis"
+)
+
+// Ownership contracts are declared at function definitions (//simvet:owner)
+// but consumed at call sites, which may live in a different package. The
+// simvet driver typechecks each package exactly once per run, so a callee's
+// *types.Func is the same object at its definition and at every call site;
+// that makes a process-global map keyed by types.Object a sound facts store.
+// The driver records facts for every target package before analyzing any of
+// them (cross-package contracts); each analyzer additionally records its own
+// pass's facts so single-package harnesses (vettest) work without a driver.
+var (
+	factsMu        sync.Mutex
+	directiveFacts = map[types.Object]simvet.OwnerMode{}
+)
+
+// RecordOwnerFacts parses the //simvet:owner directives of files and stores
+// the well-formed ones in the global facts table. Safe for concurrent use.
+func RecordOwnerFacts(fset *token.FileSet, files []*ast.File, info *types.Info) {
+	for _, od := range simvet.ParseOwnerDirectives(fset, files, info) {
+		if od.WellFormed() {
+			factsMu.Lock()
+			directiveFacts[od.Fn] = od.Mode
+			factsMu.Unlock()
+		}
+	}
+}
+
+// seededTransferNames is the facts a directive cannot express: interface
+// methods have no declaration body to annotate, so the convention that any
+// method named SendBuf takes ownership of its buffer (DESIGN.md §9 — the
+// ethernet.NIC contract, matched by every implementation) is seeded here.
+var seededTransferNames = map[string]bool{
+	"SendBuf": true,
+}
+
+// ownerModeOf resolves the ownership contract of a callee: an explicit
+// //simvet:owner directive wins, then the seeded name-convention table.
+// OwnerUnknown means no contract is declared anywhere — passing an owned
+// buffer to such a function is itself a bufleak diagnostic.
+func ownerModeOf(fn *types.Func) simvet.OwnerMode {
+	factsMu.Lock()
+	m, ok := directiveFacts[fn]
+	factsMu.Unlock()
+	if ok {
+		return m
+	}
+	if seededTransferNames[fn.Name()] {
+		return simvet.OwnerTransfer
+	}
+	return simvet.OwnerUnknown
+}

@@ -1,0 +1,1107 @@
+package bufcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	simvet "repro/internal/analysis"
+)
+
+// BufleakAnalyzer enforces the release obligation: every owned *pkt.Buf must
+// be released or transferred on every path to return.
+var BufleakAnalyzer = &analysis.Analyzer{
+	Name:       "bufleak",
+	Doc:        "flag *pkt.Buf references that are acquired but not released or ownership-transferred on some path",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: simvet.SuppressionsType,
+	Run: func(pass *analysis.Pass) (any, error) {
+		return runFlow(pass, modeLeak)
+	},
+}
+
+// BufuseafterAnalyzer enforces the handoff fence: a buffer local must not be
+// used after Release() or after an ownership-transferring call (re-acquiring
+// via Retain() before the handoff is the sanctioned pattern).
+var BufuseafterAnalyzer = &analysis.Analyzer{
+	Name:       "bufuseafter",
+	Doc:        "flag uses of a *pkt.Buf local after Release or after ownership was transferred",
+	Requires:   []*analysis.Analyzer{inspect.Analyzer},
+	ResultType: simvet.SuppressionsType,
+	Run: func(pass *analysis.Pass) (any, error) {
+		return runFlow(pass, modeUseAfter)
+	},
+}
+
+// checkMode selects which diagnostic class a flow run reports. Both analyzers
+// execute the same transfer functions over the same CFGs so their state
+// machines never disagree; only the reporting differs.
+type checkMode int
+
+const (
+	modeLeak checkMode = iota
+	modeUseAfter
+)
+
+// state is the per-variable abstract state of the ownership lattice.
+type state uint8
+
+const (
+	stBottom      state = iota // path not yet reached / variable not yet live
+	stNil                      // definitely nil: no obligation
+	stOwned                    // holds an owned reference: release or transfer before return
+	stBorrowed                 // borrow-mode parameter: usable, but not ours to release or give away
+	stReleased                 // released: any further use is a bug
+	stTransferred              // ownership handed off: any further use is a bug
+	stDead                     // merged released/transferred/nil paths: dead either way
+	stUnknown                  // escaped, aliased, or conflicting: tracking abandoned
+)
+
+// isDead reports whether s means "the reference must no longer be used".
+func isDead(s state) bool {
+	return s == stReleased || s == stTransferred || s == stDead
+}
+
+// join merges the states of two control-flow paths. The second result is true
+// for the one irreconcilable combination — owned on one path, dead on the
+// other — which is exactly the "released on some paths, leaked on the rest"
+// bug bufleak exists to catch; the caller reports it and tracking degrades to
+// stUnknown.
+func join(a, b state) (state, bool) {
+	if a == b {
+		return a, false
+	}
+	if a == stBottom {
+		return b, false
+	}
+	if b == stBottom {
+		return a, false
+	}
+	if a == stUnknown || b == stUnknown {
+		return stUnknown, false
+	}
+	if (isDead(a) || a == stNil) && (isDead(b) || b == stNil) {
+		return stDead, false
+	}
+	if (a == stNil && b == stOwned) || (a == stOwned && b == stNil) {
+		// The obligation survives the merge; a later `if pb != nil` branch
+		// refines the nil path back out (see refine).
+		return stOwned, false
+	}
+	if a == stBorrowed || b == stBorrowed {
+		return stUnknown, false
+	}
+	return stUnknown, true
+}
+
+// varMeta is per-variable bookkeeping that exists only to make diagnostics
+// specific; it never influences the fixpoint.
+type varMeta struct {
+	obj      types.Object
+	acqPos   token.Pos // last acquisition site seen in source order
+	killWhat string    // how the reference died: "Release" or "the handoff to X"
+	killPos  token.Pos
+}
+
+// valKind classifies what an evaluated expression denotes to the tracker.
+type valKind int
+
+const (
+	valOther      valKind = iota
+	valNil                // the predeclared nil
+	valVar                // a tracked *pkt.Buf variable (value.vi)
+	valOwned              // a fresh owned reference (a call returning *pkt.Buf)
+	valOwnedTuple         // a multi-result call with *pkt.Buf components (value.ownedIdx)
+)
+
+type value struct {
+	kind     valKind
+	vi       int
+	ownedIdx []int
+	desc     string // callee description for valOwned diagnostics
+}
+
+// funcFlow analyzes one function body (declaration or literal).
+type funcFlow struct {
+	pass      *analysis.Pass
+	rep       *simvet.Reporter
+	mode      checkMode
+	info      *types.Info
+	vars      map[types.Object]int
+	meta      []*varMeta
+	results   []int // tracked indexes of named *pkt.Buf results (naked-return transfer)
+	reporting bool  // true only during the final, deterministic reporting walk
+}
+
+// runFlow drives one analyzer mode over every function in the pass.
+func runFlow(pass *analysis.Pass, mode checkMode) (any, error) {
+	rep := simvet.NewReporter(pass)
+	if pass.Pkg.Name() == "pkt" {
+		// The pkt package implements the Buf lifecycle; its freelist stores and
+		// refcount plumbing cannot be expressed in the ownership vocabulary.
+		return rep.Finish(), nil
+	}
+	// Self-recording makes single-package harnesses (vettest) work without the
+	// driver's cross-package facts pre-pass.
+	RecordOwnerFacts(pass.Fset, pass.Files, pass.TypesInfo)
+
+	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	insp.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				analyzeFunc(pass, rep, mode, fn, fn.Body)
+			}
+		case *ast.FuncLit:
+			analyzeFunc(pass, rep, mode, nil, fn.Body)
+		}
+	})
+	return rep.Finish(), nil
+}
+
+// analyzeFunc runs the two-phase dataflow over one body: a worklist fixpoint
+// to converge the per-block entry states, then a single deterministic walk in
+// block-index order that re-applies the transfer functions with reporting on.
+func analyzeFunc(pass *analysis.Pass, rep *simvet.Reporter, mode checkMode, decl *ast.FuncDecl, body *ast.BlockStmt) {
+	f := &funcFlow{
+		pass: pass,
+		rep:  rep,
+		mode: mode,
+		info: pass.TypesInfo,
+		vars: map[types.Object]int{},
+	}
+	// Even a function with no trackable variables is analyzed: discarding an
+	// owned call result (pool.Get() as a bare statement) needs no variables.
+	entry := f.collectVars(decl, body)
+	if entry == nil {
+		entry = []state{} // non-nil: nil marks an unreachable block below
+	}
+	g := cfg.New(body, mayReturn)
+
+	// Phase 1: worklist fixpoint over block entry states.
+	in := make([][]state, len(g.Blocks))
+	in[0] = entry
+	work := []*cfg.Block{g.Blocks[0]}
+	queued := map[int32]bool{0: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		st := cloneStates(in[b.Index])
+		for _, n := range b.Nodes {
+			f.applyNode(st, n)
+		}
+		for i, succ := range b.Succs {
+			edge := st
+			if len(b.Succs) == 2 {
+				edge = cloneStates(st)
+				f.refineEdge(edge, b, i == 0)
+			}
+			if mergeInto(in, succ.Index, edge) && !queued[succ.Index] {
+				queued[succ.Index] = true
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Phase 2: deterministic reporting walk, block-index order.
+	f.reporting = true
+	for _, b := range g.Blocks {
+		if in[b.Index] == nil {
+			continue
+		}
+		st := cloneStates(in[b.Index])
+		for _, n := range b.Nodes {
+			f.applyNode(st, n)
+		}
+	}
+	f.reporting = false
+
+	// Phase 3 (bufleak only): merge-point conflicts. A variable that arrives
+	// owned along one edge and dead along another is released on some paths
+	// and leaked on the rest; the fixpoint degraded it to stUnknown, so the
+	// return sweep cannot see it — report it at the merge.
+	if mode == modeLeak {
+		f.reportConflicts(g, in)
+	}
+}
+
+// collectVars registers the trackable variables of this function — transfer-
+// and borrow-contract *pkt.Buf parameters, named *pkt.Buf results, and every
+// *pkt.Buf local declared in the body outside nested function literals — and
+// returns the entry state vector.
+func (f *funcFlow) collectVars(decl *ast.FuncDecl, body *ast.BlockStmt) []state {
+	var entry []state
+	track := func(obj types.Object, s state) int {
+		if obj == nil || !simvet.IsBufPtr(obj.Type()) {
+			return -1
+		}
+		if vi, ok := f.vars[obj]; ok {
+			return vi
+		}
+		vi := len(f.meta)
+		f.vars[obj] = vi
+		f.meta = append(f.meta, &varMeta{obj: obj})
+		entry = append(entry, s)
+		return vi
+	}
+
+	if decl != nil {
+		paramState := stUnknown
+		if fn, ok := f.info.Defs[decl.Name].(*types.Func); ok {
+			switch ownerModeOf(fn) {
+			case simvet.OwnerTransfer:
+				// The function owns its buffer parameters: the release
+				// obligation is checked against its own body.
+				paramState = stOwned
+			case simvet.OwnerBorrow:
+				paramState = stBorrowed
+			}
+		}
+		for _, field := range decl.Type.Params.List {
+			for _, name := range field.Names {
+				if vi := track(f.info.Defs[name], paramState); vi >= 0 && paramState == stOwned {
+					f.meta[vi].acqPos = name.Pos()
+				}
+			}
+		}
+		if decl.Type.Results != nil {
+			for _, field := range decl.Type.Results.List {
+				for _, name := range field.Names {
+					if vi := track(f.info.Defs[name], stNil); vi >= 0 {
+						f.results = append(f.results, vi)
+					}
+				}
+			}
+		}
+		if decl.Recv != nil {
+			for _, field := range decl.Recv.List {
+				for _, name := range field.Names {
+					// A *pkt.Buf receiver would be a pkt-internal method;
+					// track as unknown so uses are at least not misreported.
+					track(f.info.Defs[name], stUnknown)
+				}
+			}
+		}
+	}
+
+	// Locals: every *pkt.Buf defined in the body, excluding nested FuncLits
+	// (each literal is analyzed as its own function).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, ok := f.info.Defs[id]; ok && obj != nil {
+				track(obj, stBottom)
+			}
+		}
+		return true
+	})
+	return entry
+}
+
+func cloneStates(st []state) []state {
+	out := make([]state, len(st))
+	copy(out, st)
+	return out
+}
+
+// mergeInto joins edge into in[idx], reporting whether anything changed.
+func mergeInto(in [][]state, idx int32, edge []state) bool {
+	if in[idx] == nil {
+		in[idx] = cloneStates(edge)
+		return true
+	}
+	changed := false
+	for vi := range edge {
+		j, _ := join(in[idx][vi], edge[vi])
+		if j != in[idx][vi] {
+			in[idx][vi] = j
+			changed = true
+		}
+	}
+	return changed
+}
+
+// refineEdge sharpens states along a conditional edge when the branch
+// condition is (or conjoins/disjoins) a nil comparison of a tracked variable:
+// on the "is nil" edge an owned buffer becomes stNil, which is what lets the
+// `if pb != nil { pb.Release() }` idiom pass the leak check.
+func (f *funcFlow) refineEdge(st []state, b *cfg.Block, branch bool) {
+	if len(b.Nodes) == 0 {
+		return
+	}
+	cond, ok := b.Nodes[len(b.Nodes)-1].(ast.Expr)
+	if !ok {
+		return
+	}
+	f.refineCond(st, cond, branch)
+}
+
+func (f *funcFlow) refineCond(st []state, cond ast.Expr, branch bool) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			f.refineCond(st, e.X, !branch)
+		}
+	case *ast.BinaryExpr:
+		switch {
+		case e.Op == token.LAND && branch:
+			f.refineCond(st, e.X, true)
+			f.refineCond(st, e.Y, true)
+		case e.Op == token.LOR && !branch:
+			f.refineCond(st, e.X, false)
+			f.refineCond(st, e.Y, false)
+		case e.Op == token.EQL || e.Op == token.NEQ:
+			vi, isNilCmp := f.nilCompare(e)
+			if !isNilCmp || vi < 0 {
+				return
+			}
+			// EQL on the true edge / NEQ on the false edge ⇒ value is nil here.
+			if branch == (e.Op == token.EQL) && st[vi] == stOwned {
+				st[vi] = stNil
+			}
+		}
+	}
+}
+
+// nilCompare returns the tracked-variable index when e compares a tracked
+// identifier against nil, and whether it is such a comparison at all.
+func (f *funcFlow) nilCompare(e *ast.BinaryExpr) (int, bool) {
+	x, y := ast.Unparen(e.X), ast.Unparen(e.Y)
+	xNil := f.isNilExpr(x)
+	yNil := f.isNilExpr(y)
+	if xNil == yNil {
+		return -1, false
+	}
+	varSide := x
+	if xNil {
+		varSide = y
+	}
+	if id, ok := varSide.(*ast.Ident); ok {
+		if vi, ok := f.vars[f.info.ObjectOf(id)]; ok {
+			return vi, true
+		}
+	}
+	return -1, true
+}
+
+func (f *funcFlow) isNilExpr(e ast.Expr) bool {
+	tv, ok := f.info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// shortPos renders a position as file.go:line for diagnostics.
+func (f *funcFlow) shortPos(p token.Pos) string {
+	pos := f.pass.Fset.Position(p)
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+// leakf reports a bufleak-class diagnostic (only in the reporting phase of
+// the bufleak run).
+func (f *funcFlow) leakf(rng analysis.Range, format string, args ...any) {
+	if f.reporting && f.mode == modeLeak {
+		f.rep.Reportf(rng, format, args...)
+	}
+}
+
+// usef reports a bufuseafter-class diagnostic.
+func (f *funcFlow) usef(rng analysis.Range, format string, args ...any) {
+	if f.reporting && f.mode == modeUseAfter {
+		f.rep.Reportf(rng, format, args...)
+	}
+}
+
+// deadDesc describes how a dead reference died, for use-after messages.
+func (f *funcFlow) deadDesc(vi int, s state) string {
+	m := f.meta[vi]
+	switch {
+	case s == stReleased && m.killPos.IsValid():
+		return fmt.Sprintf("Release (%s)", f.shortPos(m.killPos))
+	case s == stReleased:
+		return "Release"
+	case s == stTransferred && m.killPos.IsValid() && m.killWhat != "":
+		return fmt.Sprintf("%s (%s)", m.killWhat, f.shortPos(m.killPos))
+	case s == stTransferred && m.killWhat != "":
+		return m.killWhat
+	case s == stTransferred:
+		return "the ownership handoff"
+	}
+	return "it was released or handed off on every path here"
+}
+
+// use applies the read fence: reading a dead reference is the bufuseafter
+// diagnostic; afterwards tracking degrades so each misuse reports once.
+func (f *funcFlow) use(st []state, vi int, rng analysis.Range) {
+	if !isDead(st[vi]) {
+		return
+	}
+	f.usef(rng, "uses buffer %q after %s; Retain() before the handoff if the bytes are still needed", f.meta[vi].obj.Name(), f.deadDesc(vi, st[vi]))
+	st[vi] = stUnknown
+}
+
+// kill applies Release() to a tracked variable.
+func (f *funcFlow) kill(st []state, vi int, rng analysis.Range) {
+	switch {
+	case isDead(st[vi]):
+		f.usef(rng, "releases buffer %q again: it already died via %s", f.meta[vi].obj.Name(), f.deadDesc(vi, st[vi]))
+		st[vi] = stUnknown
+	case st[vi] == stBorrowed:
+		f.leakf(rng, "releases borrowed buffer %q: this function's //simvet:owner borrow contract leaves the release obligation with the caller", f.meta[vi].obj.Name())
+		st[vi] = stUnknown
+	default:
+		if f.reporting {
+			f.meta[vi].killWhat = "Release"
+			f.meta[vi].killPos = rng.Pos()
+		}
+		st[vi] = stReleased
+	}
+}
+
+// transfer moves ownership out of a tracked variable (transfer-call argument,
+// return value, struct/slice/map store, channel send, append).
+func (f *funcFlow) transfer(st []state, vi int, rng analysis.Range, what string) {
+	switch {
+	case isDead(st[vi]):
+		f.usef(rng, "hands off buffer %q after %s; Retain() before the handoff if the bytes are still needed", f.meta[vi].obj.Name(), f.deadDesc(vi, st[vi]))
+		st[vi] = stUnknown
+	case st[vi] == stBorrowed:
+		f.leakf(rng, "gives away borrowed buffer %q via %s: this function's //simvet:owner borrow contract means it is not ours to transfer", f.meta[vi].obj.Name(), what)
+		st[vi] = stUnknown
+	default:
+		if f.reporting {
+			f.meta[vi].killWhat = what
+			f.meta[vi].killPos = rng.Pos()
+		}
+		st[vi] = stTransferred
+	}
+}
+
+// escape abandons tracking of a variable (address taken, captured by a
+// closure, aliased, deferred, sent into code the CFG cannot follow).
+func (f *funcFlow) escape(st []state, vi int) {
+	st[vi] = stUnknown
+}
+
+// escapeAllIn abandons every tracked variable referenced anywhere inside n.
+func (f *funcFlow) escapeAllIn(st []state, n ast.Node) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok {
+			if vi, ok := f.vars[f.info.ObjectOf(id)]; ok {
+				f.escape(st, vi)
+			}
+		}
+		return true
+	})
+}
+
+// applyNode is the transfer function for one CFG node.
+func (f *funcFlow) applyNode(st []state, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		f.applyAssign(st, n)
+	case *ast.ValueSpec:
+		if len(n.Names) > 1 && len(n.Values) == 1 {
+			// var a, b = f() — tuple form.
+			v := f.eval(st, n.Values[0], true)
+			owned := map[int]bool{}
+			for _, i := range v.ownedIdx {
+				owned[i] = true
+			}
+			for i, name := range n.Names {
+				f.bindTuple(st, name, owned[i], v.desc)
+			}
+			return
+		}
+		for i, name := range n.Names {
+			var rhs ast.Expr
+			if i < len(n.Values) {
+				rhs = n.Values[i]
+			}
+			f.assignOne(st, name, rhs)
+		}
+	case *ast.ReturnStmt:
+		f.applyReturn(st, n)
+	case *ast.ExprStmt:
+		v := f.eval(st, n.X, true)
+		if v.kind == valOwned || v.kind == valOwnedTuple {
+			f.leakf(n, "discards an owned *pkt.Buf: the result of %s is never bound, released, or transferred", v.desc)
+		}
+	case *ast.SendStmt:
+		f.eval(st, n.Chan, true)
+		v := f.eval(st, n.Value, false)
+		if v.kind == valVar {
+			f.transfer(st, v.vi, n, "the channel send")
+		}
+	case *ast.IncDecStmt:
+		f.eval(st, n.X, true)
+	case *ast.GoStmt:
+		f.escapeAllIn(st, n.Call)
+	case *ast.DeferStmt:
+		// defer runs at every exit; the CFG cannot sequence it, so anything it
+		// touches leaves the tracked world. This is what keeps the idiomatic
+		// `defer pb.Release()` from reporting as a leak at each return.
+		f.escapeAllIn(st, n.Call)
+	case *ast.Ident:
+		// A bare identifier node is a binding context: a range Key/Value or a
+		// select comm assignment target. The value comes from outside the
+		// tracked world.
+		if vi, ok := f.vars[f.info.ObjectOf(n)]; ok {
+			f.escape(st, vi)
+		}
+	case ast.Expr:
+		f.eval(st, n, true)
+	}
+}
+
+// applyAssign handles = and := in all their arities.
+func (f *funcFlow) applyAssign(st []state, n *ast.AssignStmt) {
+	if len(n.Lhs) > 1 && len(n.Rhs) == 1 {
+		// Tuple form: pb, err := acquire()
+		v := f.eval(st, n.Rhs[0], true)
+		owned := map[int]bool{}
+		for _, i := range v.ownedIdx {
+			owned[i] = true
+		}
+		for i, lhs := range n.Lhs {
+			f.bindTuple(st, lhs, owned[i], v.desc)
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		var rhs ast.Expr
+		if i < len(n.Rhs) {
+			rhs = n.Rhs[i]
+		}
+		f.assignOne(st, lhs, rhs)
+	}
+}
+
+// bindTuple binds one leg of a multi-result call.
+func (f *funcFlow) bindTuple(st []state, lhs ast.Expr, ownedLeg bool, desc string) {
+	id, isIdent := ast.Unparen(lhs).(*ast.Ident)
+	if isIdent && id.Name == "_" {
+		if ownedLeg {
+			f.leakf(lhs, "discards an owned *pkt.Buf: the %s result bound to _ is never released or transferred", desc)
+		}
+		return
+	}
+	if isIdent {
+		if vi, ok := f.vars[f.info.ObjectOf(id)]; ok {
+			f.overwriteCheck(st, vi, lhs)
+			if ownedLeg {
+				st[vi] = stOwned
+				if f.reporting {
+					f.meta[vi].acqPos = lhs.Pos()
+				}
+			} else {
+				st[vi] = stUnknown
+			}
+			return
+		}
+	}
+	// Store into a field/index/captured variable: an owned leg is consumed by
+	// the store (a declared sink); nothing else to track.
+	if !isIdent {
+		f.evalStoreTarget(st, lhs)
+	}
+}
+
+// overwriteCheck flags clobbering a still-owned reference.
+func (f *funcFlow) overwriteCheck(st []state, vi int, rng analysis.Range) {
+	if st[vi] == stOwned {
+		f.leakf(rng, "overwrites buffer %q while it is still owned; release or transfer it first", f.meta[vi].obj.Name())
+	}
+}
+
+// assignOne handles a single lhs = rhs pair (rhs nil for a bare var decl).
+func (f *funcFlow) assignOne(st []state, lhs, rhs ast.Expr) {
+	var v value
+	if rhs != nil {
+		// A tracked rhs identifier is evaluated as a move, not a read: the
+		// alias analysis below decides what it means.
+		_, rhsIsIdent := ast.Unparen(rhs).(*ast.Ident)
+		v = f.eval(st, rhs, !rhsIsIdent)
+	} else {
+		v = value{kind: valNil}
+	}
+
+	lhsId, isIdent := ast.Unparen(lhs).(*ast.Ident)
+	switch {
+	case isIdent && lhsId.Name == "_":
+		if v.kind == valOwned || v.kind == valOwnedTuple {
+			f.leakf(lhs, "discards an owned *pkt.Buf: the result of %s bound to _ is never released or transferred", v.desc)
+		}
+		if v.kind == valVar {
+			f.use(st, v.vi, rhs) // _ = pb is still a read of pb
+		}
+	case isIdent:
+		vi, tracked := f.vars[f.info.ObjectOf(lhsId)]
+		if !tracked {
+			// Untracked *pkt.Buf target: a captured outer variable (when
+			// analyzing a literal) — the store is a sink for an owned value,
+			// and an escape for a tracked one.
+			if v.kind == valVar {
+				f.transfer(st, v.vi, lhs, "the store to a captured variable")
+			}
+			return
+		}
+		f.overwriteCheck(st, vi, lhs)
+		switch v.kind {
+		case valNil:
+			st[vi] = stNil
+		case valOwned:
+			st[vi] = stOwned
+			if f.reporting {
+				f.meta[vi].acqPos = lhs.Pos()
+			}
+		case valVar:
+			if v.vi == vi {
+				return // x = x
+			}
+			f.use(st, v.vi, rhs)
+			// Aliasing: two names for one reference defeats per-name release
+			// accounting; both leave the tracked world.
+			f.escape(st, v.vi)
+			f.escape(st, vi)
+		default:
+			// Field read, map read, function result we do not understand…
+			st[vi] = stUnknown
+		}
+	default:
+		// Store through a selector/index/deref: a declared ownership sink.
+		f.evalStoreTarget(st, lhs)
+		if v.kind == valVar {
+			f.transfer(st, v.vi, lhs, "the store to a field or element")
+		}
+		// An owned call result stored into a structure is consumed by the sink.
+	}
+}
+
+// evalStoreTarget evaluates the base expression of a compound store target
+// (s.f = …, m[k] = …, *p = …) for its reads without treating the target
+// itself as a read.
+func (f *funcFlow) evalStoreTarget(st []state, lhs ast.Expr) {
+	switch e := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		f.eval(st, e.X, true)
+	case *ast.IndexExpr:
+		f.eval(st, e.X, true)
+		f.eval(st, e.Index, true)
+	case *ast.StarExpr:
+		f.eval(st, e.X, true)
+	}
+}
+
+// applyReturn transfers returned buffers to the caller and then sweeps for
+// leaks: anything still owned at a return neither escaped nor was settled.
+func (f *funcFlow) applyReturn(st []state, n *ast.ReturnStmt) {
+	for _, res := range n.Results {
+		v := f.eval(st, res, false)
+		if v.kind == valVar {
+			f.transfer(st, v.vi, res, "the return")
+		}
+	}
+	if len(n.Results) == 0 {
+		// Naked return: named results transfer implicitly.
+		for _, vi := range f.results {
+			if st[vi] == stOwned {
+				st[vi] = stTransferred
+			}
+		}
+	}
+	for vi, s := range st {
+		if s != stOwned {
+			continue
+		}
+		m := f.meta[vi]
+		if m.acqPos.IsValid() {
+			f.leakf(n, "buffer %q acquired at %s is still owned at this return: release it or transfer ownership on every path", m.obj.Name(), f.shortPos(m.acqPos))
+		} else {
+			f.leakf(n, "buffer %q is still owned at this return: release it or transfer ownership on every path", m.obj.Name())
+		}
+		st[vi] = stUnknown // one report per leaked acquisition per return
+	}
+}
+
+// eval evaluates an expression for its ownership effects. When read is true a
+// tracked identifier at the top level is checked as a use; recursion into
+// subexpressions always reads.
+func (f *funcFlow) eval(st []state, e ast.Expr, read bool) value {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return f.eval(st, e.X, read)
+	case *ast.Ident:
+		if f.isNilExpr(e) {
+			return value{kind: valNil}
+		}
+		vi, ok := f.vars[f.info.ObjectOf(e)]
+		if !ok {
+			return value{kind: valOther}
+		}
+		if read {
+			f.use(st, vi, e)
+		}
+		return value{kind: valVar, vi: vi}
+	case *ast.CallExpr:
+		return f.evalCall(st, e)
+	case *ast.FuncLit:
+		// The literal is analyzed as its own function; from here it is an
+		// opaque value that may retain every tracked variable it mentions.
+		f.escapeAllIn(st, e.Body)
+		return value{kind: valOther}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				if vi, ok := f.vars[f.info.ObjectOf(id)]; ok {
+					f.escape(st, vi)
+					return value{kind: valOther}
+				}
+			}
+		}
+		f.eval(st, e.X, true)
+		return value{kind: valOther}
+	case *ast.BinaryExpr:
+		if (e.Op == token.EQL || e.Op == token.NEQ) && (f.isNilExpr(e.X) || f.isNilExpr(e.Y)) {
+			// Comparing a dead pointer against nil is legitimate; no use fence.
+			f.eval(st, e.X, false)
+			f.eval(st, e.Y, false)
+			return value{kind: valOther}
+		}
+		f.eval(st, e.X, true)
+		f.eval(st, e.Y, true)
+		return value{kind: valOther}
+	case *ast.SelectorExpr:
+		// A method value (pb.Release passed around as a func) retains the
+		// receiver outside the CFG's view.
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			if vi, ok := f.vars[f.info.ObjectOf(id)]; ok {
+				f.use(st, vi, e.X)
+				f.escape(st, vi)
+				return value{kind: valOther}
+			}
+		}
+		f.eval(st, e.X, true)
+		return value{kind: valOther}
+	case *ast.IndexExpr:
+		f.eval(st, e.X, true)
+		f.eval(st, e.Index, true)
+		return value{kind: valOther}
+	case *ast.SliceExpr:
+		f.eval(st, e.X, true)
+		for _, sub := range []ast.Expr{e.Low, e.High, e.Max} {
+			if sub != nil {
+				f.eval(st, sub, true)
+			}
+		}
+		return value{kind: valOther}
+	case *ast.StarExpr:
+		f.eval(st, e.X, true)
+		return value{kind: valOther}
+	case *ast.TypeAssertExpr:
+		f.eval(st, e.X, true)
+		return value{kind: valOther}
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			target := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				f.eval(st, kv.Key, true)
+				target = kv.Value
+			}
+			v := f.eval(st, target, false)
+			if v.kind == valVar {
+				// Storing into a composite value is a declared sink, the same
+				// as a field store.
+				f.transfer(st, v.vi, target, "the store into a composite literal")
+			}
+		}
+		return value{kind: valOther}
+	default:
+		return value{kind: valOther}
+	}
+}
+
+// evalCall is the heart of the contract check: it resolves the callee,
+// applies Buf-method semantics (Release kills, Retain re-acquires), checks
+// every *pkt.Buf argument against the callee's declared ownership mode, and
+// classifies the result.
+func (f *funcFlow) evalCall(st []state, call *ast.CallExpr) value {
+	// Receiver / callee expression.
+	var calleeFn *types.Func
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := f.info.Uses[fun.Sel].(*types.Func); ok {
+			calleeFn = fn
+		}
+		if calleeFn != nil && recvIsBuf(calleeFn) {
+			return f.evalBufMethod(st, call, fun, calleeFn)
+		}
+		f.eval(st, fun.X, true)
+	case *ast.Ident:
+		if fn, ok := f.info.Uses[fun].(*types.Func); ok {
+			calleeFn = fn
+		}
+		if bi, ok := f.info.Uses[fun].(*types.Builtin); ok {
+			return f.evalBuiltin(st, call, bi.Name())
+		}
+		// Conversions (pkt.Buf is never a conversion target of interest) and
+		// plain function idents need no receiver evaluation.
+	default:
+		// Indirect call through an arbitrary expression.
+		f.eval(st, call.Fun, true)
+	}
+
+	f.checkCallArgs(st, call, calleeFn)
+	return f.callResult(st, call, calleeFn)
+}
+
+// recvIsBuf reports whether fn is a method of pkt.Buf.
+func recvIsBuf(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if simvet.IsBufPtr(t) {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Buf" && named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "pkt"
+}
+
+// evalBufMethod applies the lifecycle methods of pkt.Buf itself.
+func (f *funcFlow) evalBufMethod(st []state, call *ast.CallExpr, sel *ast.SelectorExpr, fn *types.Func) value {
+	recv := f.eval(st, sel.X, false)
+	switch fn.Name() {
+	case "Release":
+		if recv.kind == valVar {
+			f.kill(st, recv.vi, call)
+		}
+		return value{kind: valOther}
+	default:
+		// Retain, Bytes, Len, Push, Pop, … — reads of the receiver.
+		if recv.kind == valVar {
+			f.use(st, recv.vi, sel.X)
+		}
+	}
+	for _, arg := range call.Args {
+		f.eval(st, arg, true)
+	}
+	return f.callResult(st, call, fn)
+}
+
+// evalBuiltin handles append/copy (element stores are sinks) and the rest.
+func (f *funcFlow) evalBuiltin(st []state, call *ast.CallExpr, name string) value {
+	for i, arg := range call.Args {
+		sink := (name == "append" && i > 0) || name == "copy"
+		v := f.eval(st, arg, !sink)
+		if sink && v.kind == valVar {
+			f.transfer(st, v.vi, arg, "the store into a slice via "+name)
+		}
+	}
+	return value{kind: valOther}
+}
+
+// checkCallArgs verifies every *pkt.Buf argument against the callee's
+// contract. calleeFn may be nil for indirect calls; the signature still comes
+// from the type of the call's function expression.
+func (f *funcFlow) checkCallArgs(st []state, call *ast.CallExpr, calleeFn *types.Func) {
+	var sig *types.Signature
+	if tv, ok := f.info.Types[call.Fun]; ok {
+		sig, _ = tv.Type.Underlying().(*types.Signature)
+	}
+	if sig == nil {
+		// A conversion or something equally un-call-like: evaluate and leave.
+		for _, arg := range call.Args {
+			f.eval(st, arg, true)
+		}
+		return
+	}
+
+	mode := simvet.OwnerUnknown
+	if calleeFn != nil {
+		mode = ownerModeOf(calleeFn)
+	}
+	callee := "an indirect call"
+	if calleeFn != nil {
+		callee = calleeFn.Name()
+	}
+
+	for i, arg := range call.Args {
+		paramIsBuf := false
+		if i < sig.Params().Len() {
+			t := sig.Params().At(i).Type()
+			if sig.Variadic() && i == sig.Params().Len()-1 {
+				if sl, ok := t.(*types.Slice); ok {
+					t = sl.Elem()
+				}
+			}
+			paramIsBuf = simvet.IsBufPtr(t)
+		} else if sig.Variadic() && sig.Params().Len() > 0 {
+			if sl, ok := sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice); ok {
+				paramIsBuf = simvet.IsBufPtr(sl.Elem())
+			}
+		}
+
+		if !paramIsBuf {
+			if v := f.eval(st, arg, false); v.kind == valVar {
+				// A *pkt.Buf flowing into a non-Buf parameter (interface{},
+				// unsafe plumbing): beyond the contract vocabulary.
+				f.use(st, v.vi, arg)
+				f.escape(st, v.vi)
+			}
+			continue
+		}
+
+		v := f.eval(st, arg, false)
+		switch mode {
+		case simvet.OwnerTransfer:
+			if v.kind == valVar {
+				f.transfer(st, v.vi, arg, fmt.Sprintf("the handoff to %s", callee))
+			}
+			// A fresh owned result passed straight through is consumed.
+		case simvet.OwnerBorrow:
+			switch v.kind {
+			case valVar:
+				f.use(st, v.vi, arg)
+			case valOwned:
+				f.leakf(arg, "passes a freshly acquired *pkt.Buf to %s, which only borrows it: the reference is never released", callee)
+			}
+		default:
+			switch v.kind {
+			case valVar:
+				f.leakf(arg, "passes buffer %q to %s, whose ownership contract is undeclared: add //simvet:owner transfer|borrow to its declaration", f.meta[v.vi].obj.Name(), callee)
+				f.escape(st, v.vi)
+			case valOwned:
+				f.leakf(arg, "passes a freshly acquired *pkt.Buf to %s, whose ownership contract is undeclared: add //simvet:owner transfer|borrow to its declaration", callee)
+			}
+		}
+	}
+}
+
+// callResult classifies what the call produces: any call returning *pkt.Buf
+// yields a fresh owned reference (pool Get/GetCopy, pkt.Wrap, Retain — the
+// general acquisition rule).
+func (f *funcFlow) callResult(st []state, call *ast.CallExpr, calleeFn *types.Func) value {
+	tv, ok := f.info.Types[call]
+	if !ok {
+		return value{kind: valOther}
+	}
+	desc := "this call"
+	if calleeFn != nil {
+		desc = calleeFn.Name()
+	}
+	if simvet.IsBufPtr(tv.Type) {
+		return value{kind: valOwned, desc: desc}
+	}
+	if tup, ok := tv.Type.(*types.Tuple); ok {
+		var owned []int
+		for i := 0; i < tup.Len(); i++ {
+			if simvet.IsBufPtr(tup.At(i).Type()) {
+				owned = append(owned, i)
+			}
+		}
+		if len(owned) > 0 {
+			return value{kind: valOwnedTuple, ownedIdx: owned, desc: desc}
+		}
+	}
+	return value{kind: valOther}
+}
+
+// reportConflicts re-derives each merge point's incoming edge states from the
+// converged fixpoint and reports variables that arrive owned along one edge
+// but dead along another: the conditionally-released buffer. Reports are
+// deduplicated per (merge block, variable) and emitted in block-index order.
+func (f *funcFlow) reportConflicts(g *cfg.CFG, in [][]state) {
+	// Edge states out of every reachable block.
+	type edge struct{ from, to int32 }
+	edgeOut := map[edge][]state{}
+	preds := make(map[int32][]int32)
+	for _, b := range g.Blocks {
+		if in[b.Index] == nil {
+			continue
+		}
+		st := cloneStates(in[b.Index])
+		for _, n := range b.Nodes {
+			f.applyNode(st, n) // reporting is off: pure state evolution
+		}
+		for i, succ := range b.Succs {
+			es := st
+			if len(b.Succs) == 2 {
+				es = cloneStates(st)
+				f.refineEdge(es, b, i == 0)
+			}
+			edgeOut[edge{b.Index, succ.Index}] = es
+			preds[succ.Index] = append(preds[succ.Index], b.Index)
+		}
+	}
+
+	f.reporting = true
+	defer func() { f.reporting = false }()
+	for _, b := range g.Blocks {
+		ps := preds[b.Index]
+		if len(ps) < 2 {
+			continue
+		}
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+		for vi := range f.meta {
+			acc := stBottom
+			conflict := false
+			for _, p := range ps {
+				es := edgeOut[edge{p, b.Index}]
+				if es == nil {
+					continue
+				}
+				var c bool
+				acc, c = join(acc, es[vi])
+				conflict = conflict || c
+			}
+			if !conflict {
+				continue
+			}
+			rng := f.mergeRange(b)
+			if rng == nil {
+				continue
+			}
+			f.leakf(rng, "buffer %q is released or handed off on some paths into this point but still owned on others: settle ownership on every path before they merge", f.meta[vi].obj.Name())
+		}
+	}
+}
+
+// mergeRange picks something reportable at a merge block.
+func (f *funcFlow) mergeRange(b *cfg.Block) analysis.Range {
+	if len(b.Nodes) > 0 {
+		return b.Nodes[0]
+	}
+	if b.Stmt != nil {
+		return b.Stmt
+	}
+	return nil
+}
+
+// mayReturn is the cfg construction oracle: panic and the well-known
+// process-exit calls never return.
+func mayReturn(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name != "panic"
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			full := id.Name + "." + fun.Sel.Name
+			switch full {
+			case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln", "runtime.Goexit":
+				return false
+			}
+		}
+	}
+	return true
+}

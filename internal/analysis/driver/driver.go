@@ -30,6 +30,7 @@ import (
 	"golang.org/x/tools/go/analysis"
 
 	simvet "repro/internal/analysis"
+	"repro/internal/analysis/bufcheck"
 )
 
 // listPkg is the subset of `go list -json` output the driver consumes.
@@ -271,6 +272,20 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) (*Result
 		return nil, err
 	}
 	res := &Result{}
+	// Facts pre-pass: record every target's //simvet:owner contracts before
+	// analyzing any of them. Ownership directives are declared at definitions
+	// but consumed at call sites in other packages, and package analysis order
+	// must not decide whether a cross-package contract is visible.
+	for _, meta := range targets {
+		if len(meta.GoFiles) == 0 {
+			continue
+		}
+		d, err := l.typesFor(meta.ImportPath)
+		if err != nil {
+			return nil, err
+		}
+		bufcheck.RecordOwnerFacts(l.Fset, d.files, d.info)
+	}
 	for _, meta := range targets {
 		if len(meta.GoFiles) == 0 {
 			continue
@@ -287,27 +302,53 @@ func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) (*Result
 		res.Suppressions = append(res.Suppressions, sups...)
 		res.Packages++
 	}
-	sort.Slice(res.Diagnostics, func(i, j int) bool {
-		a, b := res.Diagnostics[i], res.Diagnostics[j]
+	SortDiagnostics(res.Diagnostics)
+	SortSuppressions(res.Suppressions)
+	return res, nil
+}
+
+// SortDiagnostics orders diagnostics by (file, line, analyzer, column,
+// message) — a total order, so two runs over the same tree print (and
+// JSON-encode) byte-identical output regardless of package-load or analyzer
+// scheduling order.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		return a.Message < b.Message
 	})
-	sort.Slice(res.Suppressions, func(i, j int) bool {
-		a, b := res.Suppressions[i], res.Suppressions[j]
+}
+
+// SortSuppressions orders suppression notes with the same total order as
+// diagnostics.
+func SortSuppressions(sups []simvet.Suppression) {
+	sort.Slice(sups, func(i, j int) bool {
+		a, b := sups[i], sups[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
-		return a.Pos.Line < b.Pos.Line
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
 	})
-	return res, nil
 }
 
 // RunAnalyzers applies analyzers (resolving Requires dependencies such as the

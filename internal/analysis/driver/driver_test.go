@@ -25,8 +25,10 @@ func TestEndToEnd(t *testing.T) {
 		}
 	}
 	write("go.mod", "module tmpmod\n\ngo 1.22\n")
-	if err := os.MkdirAll(filepath.Join(dir, "internal", "sim"), 0o755); err != nil {
-		t.Fatal(err)
+	for _, sub := range []string{"sim", "pkt", "link", "app"} {
+		if err := os.MkdirAll(filepath.Join(dir, "internal", sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
 	}
 	write(filepath.Join("internal", "sim", "sim.go"), `package sim
 
@@ -38,7 +40,11 @@ import (
 
 type Kernel struct{}
 
-func (k *Kernel) After(d int, fn func()) {}
+type Event struct{}
+
+func (e *Event) Cancel() {}
+
+func (k *Kernel) After(d int, fn func()) *Event { return &Event{} }
 
 func Violations(k *Kernel, m map[string]float64) []string {
 	_ = time.Now()   // walltime
@@ -50,9 +56,61 @@ func Violations(k *Kernel, m map[string]float64) []string {
 	vals := []float64{1, 2}
 	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] }) // tiebreak
 	for i := 0; i < len(keys); i++ {
-		k.After(1, func() { _ = keys[i] }) // eventcapture
+		k.After(1, func() { _ = keys[i] }) // eventcapture + eventpool (discarded handle)
 	}
 	return keys
+}
+`)
+	write(filepath.Join("internal", "pkt", "pkt.go"), `package pkt
+
+type Buf struct{ n int }
+
+func (b *Buf) Release()    {}
+func (b *Buf) Retain() *Buf { return b }
+func (b *Buf) Len() int    { return b.n }
+
+type Pool struct{}
+
+func (p *Pool) Get() *Buf { return &Buf{} }
+`)
+	// The ownership contract lives in a different package than its caller, so
+	// this exercises the driver's cross-package facts pre-pass, not just the
+	// analyzers' own-package scan.
+	write(filepath.Join("internal", "link", "link.go"), `package link
+
+import "tmpmod/internal/pkt"
+
+// Consume takes ownership.
+//
+//simvet:owner transfer end-to-end fixture sink
+func Consume(pb *pkt.Buf) {
+	pb.Release()
+}
+`)
+	write(filepath.Join("internal", "app", "app.go"), `package app
+
+import (
+	"tmpmod/internal/link"
+	"tmpmod/internal/pkt"
+	"tmpmod/internal/sim"
+)
+
+func FireAndForget(k *sim.Kernel) {
+	k.After(5, func() {}) // eventpool: discarded handle outside package sim
+}
+
+func Leaky(p *pkt.Pool, drop bool) {
+	pb := p.Get()
+	if drop {
+		return // bufleak: still owned here
+	}
+	link.Consume(pb)
+}
+
+func Stale(p *pkt.Pool) int {
+	pb := p.Get()
+	pb.Release()
+	return pb.Len() // bufuseafter
 }
 `)
 	res, err := driver.Run(dir, []string{"./..."}, simvet.All())
@@ -63,15 +121,18 @@ func Violations(k *Kernel, m map[string]float64) []string {
 	for _, d := range res.Diagnostics {
 		byAnalyzer[d.Analyzer]++
 	}
-	for _, name := range []string{"walltime", "globalrand", "maporder", "tiebreak", "eventcapture"} {
+	for _, name := range []string{"walltime", "globalrand", "maporder", "tiebreak", "eventcapture", "bufleak", "bufuseafter", "eventpool"} {
 		if byAnalyzer[name] == 0 {
 			t.Errorf("analyzer %s reported nothing; diagnostics:\n%s", name, dump(res))
 		}
 	}
-	for i := 1; i < len(res.Diagnostics); i++ {
-		a, b := res.Diagnostics[i-1].Pos, res.Diagnostics[i].Pos
-		if a.Filename == b.Filename && a.Line > b.Line {
-			t.Errorf("diagnostics not position-sorted: %v before %v", a, b)
+	// The driver promises the full deterministic total order, not just
+	// file/line grouping: re-sorting must be the identity.
+	sorted := append([]driver.Diagnostic(nil), res.Diagnostics...)
+	driver.SortDiagnostics(sorted)
+	for i := range sorted {
+		if sorted[i] != res.Diagnostics[i] {
+			t.Errorf("diagnostics not in total order at index %d: got %v, want %v", i, res.Diagnostics[i], sorted[i])
 		}
 	}
 }

@@ -30,12 +30,12 @@ var EventcaptureAnalyzer = &analysis.Analyzer{
 	Name:       "eventcapture",
 	Doc:        "flag kernel-event closures that capture loop variables or skip the generation-guard idiom",
 	Requires:   []*analysis.Analyzer{inspect.Analyzer},
-	ResultType: suppressionsType,
+	ResultType: SuppressionsType,
 	Run:        runEventcapture,
 }
 
 func runEventcapture(pass *analysis.Pass) (any, error) {
-	rep := newReporter(pass)
+	rep := NewReporter(pass)
 	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	insp.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
 		if !push {
@@ -55,18 +55,25 @@ func runEventcapture(pass *analysis.Pass) (any, error) {
 		}
 		return true
 	})
-	return rep.finish(), nil
+	return rep.Finish(), nil
 }
 
-// isKernelSchedule reports whether call invokes At or After on a value of a
-// named type called Kernel.
+// isKernelSchedule reports whether call invokes one of the four scheduling
+// entry points (At, After, Schedule, ScheduleAfter) on a value of a named
+// type called Kernel. The pooled handle-less variants are covered too: a
+// stale closure is just as stale when its Event struct is recycled.
 func isKernelSchedule(pass *analysis.Pass, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
 	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Name() != "At" && fn.Name() != "After" {
+	if !ok {
+		return false
+	}
+	switch fn.Name() {
+	case "At", "After", "Schedule", "ScheduleAfter":
+	default:
 		return false
 	}
 	sig, ok := fn.Type().(*types.Signature)
@@ -78,7 +85,7 @@ func isKernelSchedule(pass *analysis.Pass, call *ast.CallExpr) bool {
 
 // checkLoopCapture reports uses of enclosing-loop iteration variables inside
 // the scheduled closure.
-func checkLoopCapture(pass *analysis.Pass, rep *reporter, fl *ast.FuncLit, stack []ast.Node) {
+func checkLoopCapture(pass *analysis.Pass, rep *Reporter, fl *ast.FuncLit, stack []ast.Node) {
 	loopVars := map[types.Object]bool{}
 	for i := len(stack) - 1; i >= 0; i-- {
 		switch s := stack[i].(type) {
@@ -114,7 +121,7 @@ func checkLoopCapture(pass *analysis.Pass, rep *reporter, fl *ast.FuncLit, stack
 		obj := pass.TypesInfo.Uses[id]
 		if obj != nil && loopVars[obj] && !reported[obj] {
 			reported[obj] = true
-			rep.reportf(id, "kernel-event closure captures loop variable %q; the event can outlive the iteration — copy it into a local (v := %s) or bind it through a parameter", id.Name, id.Name)
+			rep.Reportf(id, "kernel-event closure captures loop variable %q; the event can outlive the iteration — copy it into a local (v := %s) or bind it through a parameter", id.Name, id.Name)
 		}
 		return true
 	})
@@ -123,7 +130,7 @@ func checkLoopCapture(pass *analysis.Pass, rep *reporter, fl *ast.FuncLit, stack
 // checkGenerationGuard applies rule 2: inside a generation-managed function,
 // a scheduled closure that mutates captured state must compare a generation
 // counter before touching anything.
-func checkGenerationGuard(pass *analysis.Pass, rep *reporter, fl *ast.FuncLit, stack []ast.Node) {
+func checkGenerationGuard(pass *analysis.Pass, rep *Reporter, fl *ast.FuncLit, stack []ast.Node) {
 	fn := enclosingFunc(stack, fl)
 	if fn == nil || !bumpsGeneration(fn) {
 		return
@@ -134,7 +141,7 @@ func checkGenerationGuard(pass *analysis.Pass, rep *reporter, fl *ast.FuncLit, s
 	if hasGenerationGuard(fl) {
 		return
 	}
-	rep.reportf(fl, "closure scheduled by a generation-managed function mutates captured state without a generation guard; snapshot the counter (gen := x.fooGen) and bail when it moved (if gen != x.fooGen { return }) as in vpn.Client")
+	rep.Reportf(fl, "closure scheduled by a generation-managed function mutates captured state without a generation guard; snapshot the counter (gen := x.fooGen) and bail when it moved (if gen != x.fooGen { return }) as in vpn.Client")
 }
 
 // enclosingFunc returns the body of the innermost function declaration or

@@ -31,21 +31,21 @@ var GlobalrandAnalyzer = &analysis.Analyzer{
 	Name:       "globalrand",
 	Doc:        "forbid global math/rand and crypto/rand in deterministic paths; use the kernel-seeded sim.RNG",
 	Requires:   []*analysis.Analyzer{inspect.Analyzer},
-	ResultType: suppressionsType,
+	ResultType: SuppressionsType,
 	Run:        runGlobalrand,
 }
 
 func runGlobalrand(pass *analysis.Pass) (any, error) {
-	rep := newReporter(pass)
+	rep := NewReporter(pass)
 	if !deterministicScope(pass.Pkg.Path()) {
-		return rep.finish(), nil
+		return rep.Finish(), nil
 	}
 	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	insp.Preorder([]ast.Node{(*ast.ImportSpec)(nil), (*ast.SelectorExpr)(nil)}, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.ImportSpec:
 			if path, err := strconv.Unquote(n.Path.Value); err == nil && path == "crypto/rand" {
-				rep.reportf(n, "crypto/rand reads host entropy and can never replay; deterministic paths must draw from the kernel RNG (sim.Kernel.RNG)")
+				rep.Reportf(n, "crypto/rand reads host entropy and can never replay; deterministic paths must draw from the kernel RNG (sim.Kernel.RNG)")
 			}
 		case *ast.SelectorExpr:
 			obj := pass.TypesInfo.Uses[n.Sel]
@@ -63,8 +63,8 @@ func runGlobalrand(pass *analysis.Pass) (any, error) {
 			if randConstructors[obj.Name()] {
 				return
 			}
-			rep.reportf(n, "%s.%s draws from the shared process-global source; plumb the kernel-seeded RNG (sim.Kernel.RNG) instead", path, obj.Name())
+			rep.Reportf(n, "%s.%s draws from the shared process-global source; plumb the kernel-seeded RNG (sim.Kernel.RNG) instead", path, obj.Name())
 		}
 	})
-	return rep.finish(), nil
+	return rep.Finish(), nil
 }

@@ -26,12 +26,12 @@ var MaporderAnalyzer = &analysis.Analyzer{
 	Name:       "maporder",
 	Doc:        "flag order-sensitive work inside for-range over a map without a subsequent sort",
 	Requires:   []*analysis.Analyzer{inspect.Analyzer},
-	ResultType: suppressionsType,
+	ResultType: SuppressionsType,
 	Run:        runMaporder,
 }
 
 func runMaporder(pass *analysis.Pass) (any, error) {
-	rep := newReporter(pass)
+	rep := NewReporter(pass)
 	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	insp.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
 		if !push {
@@ -48,10 +48,10 @@ func runMaporder(pass *analysis.Pass) (any, error) {
 		checkMapRange(pass, rep, rng, stack)
 		return true
 	})
-	return rep.finish(), nil
+	return rep.Finish(), nil
 }
 
-func checkMapRange(pass *analysis.Pass, rep *reporter, rng *ast.RangeStmt, stack []ast.Node) {
+func checkMapRange(pass *analysis.Pass, rep *Reporter, rng *ast.RangeStmt, stack []ast.Node) {
 	rangeVars := map[types.Object]bool{}
 	for _, e := range []ast.Expr{rng.Key, rng.Value} {
 		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
@@ -146,7 +146,7 @@ func checkMapRange(pass *analysis.Pass, rep *reporter, rng *ast.RangeStmt, stack
 	})
 
 	if reason != "" {
-		rep.reportf(rng.X, "range over map %s %s; map iteration order is random — extract the keys, sort them, and iterate the slice", exprString(pass, rng.X), reason)
+		rep.Reportf(rng.X, "range over map %s %s; map iteration order is random — extract the keys, sort them, and iterate the slice", exprString(pass, rng.X), reason)
 		return
 	}
 
@@ -154,7 +154,7 @@ func checkMapRange(pass *analysis.Pass, rep *reporter, rng *ast.RangeStmt, stack
 	// following statement of some enclosing block (up to the function edge).
 	for obj, site := range appendTargets {
 		if !sortedAfter(pass, stack, obj) {
-			rep.reportf(site.(*ast.AssignStmt), "collects from map %s into %q without sorting it afterwards; the slice inherits random map iteration order", exprString(pass, rng.X), obj.Name())
+			rep.Reportf(site.(*ast.AssignStmt), "collects from map %s into %q without sorting it afterwards; the slice inherits random map iteration order", exprString(pass, rng.X), obj.Name())
 		}
 	}
 }

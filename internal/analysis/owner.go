@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ownerPrefix is the ownership-contract directive marker. The full grammar is
+//
+//	//simvet:owner transfer|borrow <reason…>
+//
+// placed in the doc comment of a function or method declaration that has at
+// least one *pkt.Buf parameter. The mode declares, for every *pkt.Buf
+// parameter of that function, who holds the release obligation after the
+// call:
+//
+//	transfer — the callee takes ownership: it must Release or forward every
+//	           owned buffer parameter on every path, and the caller must not
+//	           touch the buffer afterwards without having Retained first.
+//	borrow   — the callee only borrows: the caller keeps ownership and the
+//	           obligation; the callee must not Release or store the buffer.
+//
+// Like //simvet:allow, the reason is mandatory and directive hygiene is
+// validated by the simvetallow analyzer: unknown modes, missing reasons,
+// directives floating outside a function's doc comment, and stale directives
+// on functions with no *pkt.Buf parameter are all reported. The bufcheck
+// analyzers (internal/analysis/bufcheck) consume the parsed directives as
+// call-site contracts.
+const ownerPrefix = "//simvet:owner"
+
+// OwnerMode is a declared ownership convention for a function's *pkt.Buf
+// parameters.
+type OwnerMode int
+
+// The two declarable conventions, plus the zero "no contract known" value.
+const (
+	OwnerUnknown OwnerMode = iota
+	OwnerTransfer
+	OwnerBorrow
+)
+
+// String names the mode with its directive spelling.
+func (m OwnerMode) String() string {
+	switch m {
+	case OwnerTransfer:
+		return "transfer"
+	case OwnerBorrow:
+		return "borrow"
+	}
+	return "unknown"
+}
+
+// OwnerDirective is one parsed //simvet:owner comment.
+type OwnerDirective struct {
+	Pos     token.Pos
+	Mode    OwnerMode // OwnerUnknown when ModeStr is not a known mode
+	ModeStr string    // the raw mode token, for diagnostics
+	Reason  string
+	// Decl is the function declaration whose doc comment group contains the
+	// directive; nil when the directive floats unattached to any function.
+	Decl *ast.FuncDecl
+	// Fn is Decl's resolved type object (nil when Decl is nil or unresolved).
+	Fn *types.Func
+}
+
+// WellFormed reports whether the directive passes hygiene validation: known
+// mode, mandatory reason, attached to a function that actually has a *pkt.Buf
+// parameter. Only well-formed directives establish a contract.
+func (d *OwnerDirective) WellFormed() bool {
+	return d.Mode != OwnerUnknown && d.Reason != "" && d.Fn != nil && HasBufParam(d.Fn)
+}
+
+// scanDirectives is the single directive-scanning pass shared by the rule
+// reporters, the simvetallow validator, and the bufcheck facts builder: it
+// walks every comment of the files once and returns the parsed //simvet:allow
+// and //simvet:owner directives together.
+func scanDirectives(fset *token.FileSet, files []*ast.File, info *types.Info) ([]directive, []OwnerDirective) {
+	// Map each comment group to the function declaration it documents, so an
+	// owner directive can be attached to its subject.
+	docOf := make(map[*ast.CommentGroup]*ast.FuncDecl)
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				docOf[fd.Doc] = fd
+			}
+		}
+	}
+
+	var allows []directive
+	var owners []OwnerDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				switch {
+				case directiveText(c.Text, allowPrefix) != "":
+					rest := directiveText(c.Text, allowPrefix)
+					fields := strings.Fields(rest)
+					d := directive{pos: c.Pos()}
+					p := fset.Position(c.Pos())
+					d.file, d.line = p.Filename, p.Line
+					if len(fields) > 0 {
+						d.analyzer = fields[0]
+					}
+					if len(fields) > 1 {
+						d.reason = strings.Join(fields[1:], " ")
+					}
+					allows = append(allows, d)
+				case directiveText(c.Text, ownerPrefix) != "":
+					rest := directiveText(c.Text, ownerPrefix)
+					fields := strings.Fields(rest)
+					od := OwnerDirective{Pos: c.Pos(), Decl: docOf[cg]}
+					if len(fields) > 0 {
+						od.ModeStr = fields[0]
+						switch fields[0] {
+						case "transfer":
+							od.Mode = OwnerTransfer
+						case "borrow":
+							od.Mode = OwnerBorrow
+						}
+					}
+					if len(fields) > 1 {
+						od.Reason = strings.Join(fields[1:], " ")
+					}
+					if od.Decl != nil && info != nil {
+						if fn, ok := info.Defs[od.Decl.Name].(*types.Func); ok {
+							od.Fn = fn
+						}
+					}
+					owners = append(owners, od)
+				}
+			}
+		}
+	}
+	return allows, owners
+}
+
+// directiveText returns the directive body when text starts with prefix as a
+// whole marker (followed by whitespace or nothing), and "" otherwise. A bare
+// directive returns " " so the caller can still tell it matched.
+func directiveText(text, prefix string) string {
+	if !strings.HasPrefix(text, prefix) {
+		return ""
+	}
+	rest := strings.TrimPrefix(text, prefix)
+	if rest == "" {
+		return " "
+	}
+	if rest[0] != ' ' && rest[0] != '\t' {
+		return "" // e.g. //simvet:ownership — not our directive
+	}
+	return rest
+}
+
+// ParseOwnerDirectives scans files for //simvet:owner directives, resolving
+// each to the function declaration whose doc comment carries it. Malformed
+// directives are returned too; hygiene policy belongs to the simvetallow
+// validator, contract policy to bufcheck.
+func ParseOwnerDirectives(fset *token.FileSet, files []*ast.File, info *types.Info) []OwnerDirective {
+	_, owners := scanDirectives(fset, files, info)
+	return owners
+}
+
+// IsBufPtr reports whether t is *pkt.Buf: a pointer to a named type Buf
+// declared in a package named pkt. Matching by package name rather than
+// import path keeps the check working in single-package test fixtures, the
+// same trade the maporder analyzer makes for sim.Kernel.
+func IsBufPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Buf" && obj.Pkg() != nil && obj.Pkg().Name() == "pkt"
+}
+
+// HasBufParam reports whether fn has at least one *pkt.Buf parameter (or a
+// *pkt.Buf receiver would not count: the receiver's lifecycle belongs to the
+// pkt package itself).
+func HasBufParam(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if IsBufPtr(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,184 @@
+// Package bufleak is the deliberate-violation fixture for the bufleak
+// analyzer: every want line is a leak the CFG dataflow must catch, and every
+// good* function is a sanctioned ownership pattern that must stay clean.
+package bufleak
+
+import (
+	"errors"
+
+	"repro/internal/pkt"
+)
+
+var errBad = errors.New("bad")
+
+// consume takes ownership of its buffer.
+//
+//simvet:owner transfer fixture sink: releases pb
+func consume(pb *pkt.Buf) {
+	if pb != nil {
+		pb.Release()
+	}
+}
+
+// inspect only borrows its buffer.
+//
+//simvet:owner borrow fixture reader: caller keeps ownership
+func inspect(pb *pkt.Buf) int {
+	return pb.Len()
+}
+
+// undeclared has a *pkt.Buf parameter but no ownership directive.
+func undeclared(pb *pkt.Buf) {}
+
+func leakAtReturn(p *pkt.Pool) {
+	pb := p.Get()
+	_ = pb.Len()
+	return // want `buffer "pb" acquired at .* is still owned at this return`
+}
+
+func leakOnErrorPath(p *pkt.Pool, fail bool) error {
+	pb := p.Get()
+	if fail {
+		return errBad // want `buffer "pb" acquired at .* is still owned at this return`
+	}
+	pb.Release()
+	return nil
+}
+
+func conditionalRelease(p *pkt.Pool, c bool) {
+	pb := p.Get()
+	if c {
+		pb.Release()
+	}
+	_ = c // want `buffer "pb" is released or handed off on some paths into this point but still owned on others`
+}
+
+func discardsResult(p *pkt.Pool) {
+	p.Get() // want `discards an owned \*pkt\.Buf: the result of Get is never bound`
+}
+
+func discardsBlank(p *pkt.Pool) {
+	_ = p.Get() // want `discards an owned \*pkt\.Buf: the result of Get bound to _`
+}
+
+func discardsRetain(p *pkt.Pool) {
+	pb := p.Get()
+	pb.Retain() // want `discards an owned \*pkt\.Buf: the result of Retain is never bound`
+	pb.Release()
+}
+
+func overwritesOwned(p *pkt.Pool) {
+	pb := p.Get()
+	pb = p.Get() // want `overwrites buffer "pb" while it is still owned`
+	pb.Release()
+}
+
+func ownedToBorrower(p *pkt.Pool) {
+	inspect(p.Get()) // want `passes a freshly acquired \*pkt\.Buf to inspect, which only borrows it`
+}
+
+func ownedToUndeclared(p *pkt.Pool) {
+	pb := p.Get()
+	undeclared(pb) // want `passes buffer "pb" to undeclared, whose ownership contract is undeclared`
+}
+
+// releasesBorrowed violates its own borrow contract.
+//
+//simvet:owner borrow fixture contract violation subject
+func releasesBorrowed(pb *pkt.Buf) {
+	pb.Release() // want `releases borrowed buffer "pb"`
+}
+
+// givesAwayBorrowed transfers a buffer it does not own.
+//
+//simvet:owner borrow fixture contract violation subject
+func givesAwayBorrowed(pb *pkt.Buf) {
+	consume(pb) // want `gives away borrowed buffer "pb" via the handoff to consume`
+}
+
+// leakyOwner declares transfer but forgets its obligation on one path.
+//
+//simvet:owner transfer fixture owner that leaks on the error path
+func leakyOwner(pb *pkt.Buf, fail bool) error {
+	if fail {
+		return errBad // want `buffer "pb" acquired at .* is still owned at this return`
+	}
+	pb.Release()
+	return nil
+}
+
+func goodAcquireRelease(p *pkt.Pool) {
+	pb := p.Get()
+	pb.Extend(4)
+	pb.Release()
+}
+
+func goodTransfer(p *pkt.Pool) {
+	consume(p.Get())
+}
+
+func goodNilGuard(p *pkt.Pool, c bool) {
+	var pb *pkt.Buf
+	if c {
+		pb = p.Get()
+	}
+	if pb != nil {
+		pb.Release()
+	}
+}
+
+func goodDeferRelease(p *pkt.Pool) {
+	pb := p.Get()
+	defer pb.Release()
+	_ = pb.Len()
+}
+
+type holder struct{ pb *pkt.Buf }
+
+func goodStructStore(p *pkt.Pool, h *holder) {
+	h.pb = p.Get()
+}
+
+func goodCompositeStore(p *pkt.Pool) holder {
+	pb := p.Get()
+	return holder{pb: pb}
+}
+
+func goodReturn(p *pkt.Pool) *pkt.Buf {
+	pb := p.Get()
+	pb.Extend(8)
+	return pb
+}
+
+func goodChannelSend(p *pkt.Pool, ch chan *pkt.Buf) {
+	pb := p.Get()
+	ch <- pb
+}
+
+func goodRetainShare(p *pkt.Pool) {
+	pb := p.Get()
+	consume(pb.Retain())
+	pb.Release()
+}
+
+func goodReleaseBothPaths(p *pkt.Pool, c bool) {
+	pb := p.Get()
+	if c {
+		pb.Release()
+		return
+	}
+	pb.Release()
+}
+
+func goodWrap(b []byte) {
+	pb := pkt.Wrap(b)
+	pb.Release()
+}
+
+// goodSuppressed demonstrates the justified escape hatch.
+func goodSuppressed(p *pkt.Pool) {
+	pb := p.Get()
+	_ = pb
+	//simvet:allow bufleak fixture demonstrates a justified suppression
+	return
+}

@@ -1,0 +1,59 @@
+// Package bufleak_ipv4 is the seeded-bug fixture: a condensed replica of the
+// internal/ipv4 Stack.SendBuf shape with its error-path Release deliberately
+// deleted. The acceptance check is that bufleak reports the injected leak —
+// proving the analyzer would have caught the bug class the zero-copy PR had
+// to fix by hand.
+package bufleak_ipv4
+
+import (
+	"errors"
+
+	"repro/internal/pkt"
+)
+
+var errNoRoute = errors.New("no route")
+
+const headerLen = 20
+
+type iface struct {
+	name string
+	addr uint32
+	up   bool
+}
+
+type stack struct {
+	ifaces []*iface
+	ttl    int
+}
+
+// route is the downstream sink, contract-annotated like the real one.
+//
+//simvet:owner transfer owns pb and settles it on every path
+func (s *stack) route(dst uint32, pb *pkt.Buf) error {
+	for _, ifc := range s.ifaces {
+		if ifc.up && ifc.addr == dst {
+			pb.Release()
+			return nil
+		}
+	}
+	pb.Release()
+	return errNoRoute
+}
+
+// sendBuf is the ipv4.Stack.SendBuf shape: header pushed into the owned
+// buffer's headroom, validation gates before the route handoff. The TTL
+// validation path returns without releasing — the seeded bug.
+//
+//simvet:owner transfer owns pb: must release or hand it to route on every path
+func (s *stack) sendBuf(dst uint32, pb *pkt.Buf) error {
+	if s.ttl <= 0 {
+		return errNoRoute // want `buffer "pb" acquired at .* is still owned at this return`
+	}
+	hdr := pb.Push(headerLen)
+	hdr[0] = 0x45
+	if len(s.ifaces) == 0 {
+		pb.Release()
+		return errNoRoute
+	}
+	return s.route(dst, pb)
+}

@@ -1,0 +1,26 @@
+package bufleak_multi
+
+import "repro/internal/pkt"
+
+func goodCrossFileTransfer(p *pkt.Pool) {
+	swallow(p.Get())
+}
+
+func goodCrossFileBorrow(p *pkt.Pool) {
+	pb := p.Get()
+	_ = peek(pb)
+	pb.Release()
+}
+
+func badCrossFileBorrow(p *pkt.Pool) {
+	_ = peek(p.Get()) // want `passes a freshly acquired \*pkt\.Buf to peek, which only borrows it`
+}
+
+func badCrossFileLeak(p *pkt.Pool, c bool) error {
+	pb := p.Get()
+	if c {
+		return nil // want `buffer "pb" acquired at .* is still owned at this return`
+	}
+	swallow(pb)
+	return nil
+}

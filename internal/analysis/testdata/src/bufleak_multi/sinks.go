@@ -1,0 +1,21 @@
+// Package bufleak_multi is the multi-file fixture: ownership contracts are
+// declared in this file and consumed in callers.go, so the test proves the
+// directive scan and the facts table work across files of one package (the
+// single-package analogue of the driver's cross-package pre-pass).
+package bufleak_multi
+
+import "repro/internal/pkt"
+
+// swallow takes ownership.
+//
+//simvet:owner transfer fixture sink declared in a different file than its callers
+func swallow(pb *pkt.Buf) {
+	pb.Release()
+}
+
+// peek only borrows.
+//
+//simvet:owner borrow fixture reader declared in a different file than its callers
+func peek(pb *pkt.Buf) int {
+	return pb.Len()
+}

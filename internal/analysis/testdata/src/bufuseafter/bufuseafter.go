@@ -1,0 +1,85 @@
+// Package bufuseafter is the deliberate-violation fixture for the
+// bufuseafter analyzer: uses of a buffer after Release or after an
+// ownership-transferring call, plus the Retain patterns that make the same
+// shapes legal.
+package bufuseafter
+
+import "repro/internal/pkt"
+
+// consume takes ownership of its buffer.
+//
+//simvet:owner transfer fixture sink: releases pb
+func consume(pb *pkt.Buf) {
+	if pb != nil {
+		pb.Release()
+	}
+}
+
+func useAfterRelease(p *pkt.Pool) {
+	pb := p.Get()
+	pb.Release()
+	_ = pb.Len() // want `uses buffer "pb" after Release`
+}
+
+func doubleRelease(p *pkt.Pool) {
+	pb := p.Get()
+	pb.Release()
+	pb.Release() // want `releases buffer "pb" again: it already died via Release`
+}
+
+func useAfterTransfer(p *pkt.Pool) {
+	pb := p.Get()
+	consume(pb)
+	_ = pb.Bytes() // want `uses buffer "pb" after the handoff to consume`
+}
+
+func handoffAfterRelease(p *pkt.Pool) {
+	pb := p.Get()
+	pb.Release()
+	consume(pb) // want `hands off buffer "pb" after Release`
+}
+
+func useAfterChannelSend(p *pkt.Pool, ch chan *pkt.Buf) {
+	pb := p.Get()
+	ch <- pb
+	_ = pb.Len() // want `uses buffer "pb" after the channel send`
+}
+
+func useAfterMergedDeath(p *pkt.Pool, c bool) {
+	pb := p.Get()
+	if c {
+		pb.Release()
+	} else {
+		consume(pb)
+	}
+	_ = pb.Len() // want `uses buffer "pb" after it was released or handed off on every path here`
+}
+
+func goodRetainBeforeHandoff(p *pkt.Pool) {
+	pb := p.Get()
+	consume(pb.Retain())
+	_ = pb.Len()
+	pb.Release()
+}
+
+func goodNilCompareAfterRelease(p *pkt.Pool) bool {
+	pb := p.Get()
+	pb.Release()
+	return pb != nil // comparing a dead pointer against nil is not a use
+}
+
+func goodReacquire(p *pkt.Pool) {
+	pb := p.Get()
+	pb.Release()
+	pb = p.Get()
+	_ = pb.Len()
+	pb.Release()
+}
+
+func goodBranchedUse(p *pkt.Pool, c bool) {
+	pb := p.Get()
+	if c {
+		_ = pb.Len()
+	}
+	pb.Release()
+}

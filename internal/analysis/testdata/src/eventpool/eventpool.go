@@ -1,0 +1,68 @@
+// Package eventpool is the deliberate-violation fixture for the eventpool
+// analyzer: discarded At/After handles (which must use the pooled
+// Schedule/ScheduleAfter) and callbacks canceling their own fired handle.
+package eventpool
+
+import "repro/internal/sim"
+
+func discardsAt(k *sim.Kernel) {
+	k.At(5, func() {}) // want `discards the \*sim\.Event handle returned by At: .* use the pooled Schedule `
+}
+
+func discardsAfter(k *sim.Kernel) {
+	k.After(5, func() {}) // want `discards the \*sim\.Event handle returned by After: .* use the pooled ScheduleAfter`
+}
+
+func discardsBlank(k *sim.Kernel) {
+	_ = k.At(5, func() {}) // want `discards the \*sim\.Event handle returned by At`
+}
+
+type conn struct {
+	k     *sim.Kernel
+	timer *sim.Event
+}
+
+func selfCancelLocal(k *sim.Kernel) *sim.Event {
+	var ev *sim.Event
+	ev = k.After(5, func() {
+		ev.Cancel() // want `callback cancels its own handle ev: the event has already fired`
+	})
+	return ev
+}
+
+func (c *conn) selfCancelField() {
+	c.timer = c.k.After(5, func() {
+		c.timer.Cancel() // want `callback cancels its own handle c\.timer: the event has already fired`
+	})
+}
+
+func goodRetainedHandle(k *sim.Kernel) *sim.Event {
+	ev := k.At(5, func() {})
+	return ev
+}
+
+func goodCancelElsewhere(c *conn) {
+	if c.timer != nil {
+		c.timer.Cancel()
+	}
+	c.timer = c.k.After(5, func() {})
+}
+
+func (c *conn) goodRenewal() {
+	c.timer = c.k.After(5, func() {
+		// Reschedule through the same variable, then cancel the new handle on
+		// some condition: the renewal exempts the pattern.
+		c.timer = c.k.After(5, func() {})
+		c.timer.Cancel()
+	})
+}
+
+func goodPooled(k *sim.Kernel) {
+	k.Schedule(5, func() {})
+	k.ScheduleAfter(5, func() {})
+}
+
+func goodSuppressedDiscard(k *sim.Kernel) {
+	//simvet:allow eventpool fixture demonstrates a justified suppression
+	k.At(5, func() {})
+}

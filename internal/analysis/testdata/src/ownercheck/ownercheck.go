@@ -1,0 +1,46 @@
+// Package ownercheck exercises //simvet:owner directive hygiene, validated by
+// the simvetallow analyzer. Expectations are programmatic (see
+// TestOwnerValidator): a line comment cannot carry a want comment about
+// itself.
+package ownercheck
+
+import "repro/internal/pkt"
+
+// wellFormed carries a valid contract and must produce no diagnostic.
+//
+//simvet:owner transfer valid fixture contract
+func wellFormed(pb *pkt.Buf) {
+	pb.Release()
+}
+
+// badMode names a mode that does not exist.
+//
+//simvet:owner steal this mode is not in the vocabulary
+func badMode(pb *pkt.Buf) {
+	pb.Release()
+}
+
+// noReason declares a mode but no justification.
+//
+//simvet:owner borrow
+func noReason(pb *pkt.Buf) {
+	_ = pb.Len()
+}
+
+// bare is a directive with neither mode nor reason.
+//
+//simvet:owner
+func bare(pb *pkt.Buf) {
+	_ = pb.Len()
+}
+
+// stale declares a contract for a function with no *pkt.Buf parameter.
+//
+//simvet:owner transfer nothing here takes a buffer
+func stale(n int) int {
+	return n + 1
+}
+
+//simvet:owner transfer this directive floats outside any function doc comment
+
+var unattachedAnchor = 0

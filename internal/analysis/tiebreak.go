@@ -20,7 +20,7 @@ var TiebreakAnalyzer = &analysis.Analyzer{
 	Name:       "tiebreak",
 	Doc:        "flag sort comparators ordering by a single float key with no deterministic secondary key",
 	Requires:   []*analysis.Analyzer{inspect.Analyzer},
-	ResultType: suppressionsType,
+	ResultType: SuppressionsType,
 	Run:        runTiebreak,
 }
 
@@ -31,7 +31,7 @@ var sortFuncEntries = map[string]map[string]bool{
 }
 
 func runTiebreak(pass *analysis.Pass) (any, error) {
-	rep := newReporter(pass)
+	rep := NewReporter(pass)
 	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	insp.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
 		call := n.(*ast.CallExpr)
@@ -52,10 +52,10 @@ func runTiebreak(pass *analysis.Pass) (any, error) {
 			return
 		}
 		if expr := singleFloatCompare(pass, cmp); expr != nil {
-			rep.reportf(cmp, "%s.%s comparator orders by a single float key; equal values fall back to slice order, which is not seed-deterministic — add a secondary key (cf. dot11 pickBSS RSSI tie, DESIGN.md §8)", fn.Pkg().Name(), fn.Name())
+			rep.Reportf(cmp, "%s.%s comparator orders by a single float key; equal values fall back to slice order, which is not seed-deterministic — add a secondary key (cf. dot11 pickBSS RSSI tie, DESIGN.md §8)", fn.Pkg().Name(), fn.Name())
 		}
 	})
-	return rep.finish(), nil
+	return rep.Finish(), nil
 }
 
 // singleFloatCompare reports whether the comparator body is exactly one

@@ -32,14 +32,14 @@ var WalltimeAnalyzer = &analysis.Analyzer{
 	Name:       "walltime",
 	Doc:        "forbid time.Now/Sleep/After and friends in internal simulator packages; use sim.Kernel virtual time",
 	Requires:   []*analysis.Analyzer{inspect.Analyzer},
-	ResultType: suppressionsType,
+	ResultType: SuppressionsType,
 	Run:        runWalltime,
 }
 
 func runWalltime(pass *analysis.Pass) (any, error) {
-	rep := newReporter(pass)
+	rep := NewReporter(pass)
 	if !deterministicScope(pass.Pkg.Path()) {
-		return rep.finish(), nil
+		return rep.Finish(), nil
 	}
 	insp := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	insp.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
@@ -54,7 +54,7 @@ func runWalltime(pass *analysis.Pass) (any, error) {
 		if !bannedTime[obj.Name()] {
 			return
 		}
-		rep.reportf(sel, "time.%s reads the host wall clock; simulator code must use the kernel's virtual clock (sim.Kernel.Now/After/At)", obj.Name())
+		rep.Reportf(sel, "time.%s reads the host wall clock; simulator code must use the kernel's virtual clock (sim.Kernel.Now/After/At)", obj.Name())
 	})
-	return rep.finish(), nil
+	return rep.Finish(), nil
 }

@@ -217,7 +217,7 @@ func (c *Client) learn(ip inet.Addr, mac ethernet.MAC) {
 // refresh between arming and firing just re-arms for the new deadline, so
 // each live entry carries exactly one outstanding timer.
 func (c *Client) armExpiry(ip inet.Addr, at sim.Time) {
-	c.kernel.At(at, func() {
+	c.kernel.Schedule(at, func() {
 		e, ok := c.cache[ip]
 		if !ok {
 			return

@@ -481,6 +481,8 @@ func (ap *AP) hostSend(dst ethernet.MAC, t ethernet.EtherType, payload []byte) {
 
 // hostSendBuf is the zero-copy host path: the bridge takes ownership of pb
 // and, when the frame only goes to the air, encapsulates it in place.
+//
+//simvet:owner transfer forwards pb to bridge, which settles it on every path
 func (ap *AP) hostSendBuf(dst ethernet.MAC, t ethernet.EtherType, pb *pkt.Buf) {
 	ap.bridge(ap.cfg.BSSID, dst, t, pb.Bytes(), fromHost, pb)
 }
@@ -498,6 +500,8 @@ const (
 // takes ownership of it (releasing it unless it is handed whole to the air
 // path). The toHost → toAir → toWire order is load-bearing: delivery event
 // sequence numbers — and therefore the trace digest — depend on it.
+//
+//simvet:owner transfer owns the optional buffer: releases it or hands it whole to the air path
 func (ap *AP) bridge(src, dst ethernet.MAC, t ethernet.EtherType, payload []byte, origin bridgeOrigin, owned *pkt.Buf) {
 	toHost := dst == ap.cfg.BSSID || dst.IsMulticast()
 	toAir := dst.IsMulticast() || ap.IsAssociated(dst)
@@ -535,6 +539,8 @@ func (ap *AP) sendToAir(src, dst ethernet.MAC, t ethernet.EtherType, payload []b
 
 // sendToAirBuf transmits a FromDS data frame, encapsulating in place (LLC,
 // optional WEP, MAC header pushed into pb's headroom). Takes ownership of pb.
+//
+//simvet:owner transfer encapsulates in place and forwards pb to the transmit queue
 func (ap *AP) sendToAirBuf(src, dst ethernet.MAC, t ethernet.EtherType, pb *pkt.Buf) {
 	putLLC(pb.Push(LLCLen), t)
 	protected := false

@@ -115,6 +115,8 @@ func (e *entity) enqueue(f Frame) {
 // already sits in pb, pushing the MAC header into the buffer's headroom —
 // the zero-copy path. f.Body is ignored; the frame describes the header
 // only. Ownership of pb transfers to the transmit queue.
+//
+//simvet:owner transfer pb moves into the transmit queue via enqueueBuf
 func (e *entity) transmitBuf(f Frame, pb *pkt.Buf) {
 	f.Seq = e.nextSeq()
 	f.putHeader(pb.Push(headerLen))
@@ -122,6 +124,8 @@ func (e *entity) transmitBuf(f Frame, pb *pkt.Buf) {
 }
 
 // enqueueBuf queues a serialised frame and starts transmission if idle.
+//
+//simvet:owner transfer pb is stored in the txJob; the queue drain releases it after the air handoff
 func (e *entity) enqueueBuf(addr1 ethernet.MAC, typ Type, pb *pkt.Buf) {
 	needsAck := !addr1.IsMulticast() && e.addr != (ethernet.MAC{}) && typ != TypeControl
 	var job *txJob

@@ -548,6 +548,8 @@ func (s *STA) sendData(dst ethernet.MAC, t ethernet.EtherType, payload []byte) {
 // sendDataBuf transmits a ToDS data frame, encapsulating in place: LLC, then
 // optionally WEP, then the MAC header, all pushed into pb's headroom. Takes
 // ownership of pb on every path.
+//
+//simvet:owner transfer releases pb when not associated, else forwards it to the transmit queue
 func (s *STA) sendDataBuf(dst ethernet.MAC, t ethernet.EtherType, pb *pkt.Buf) {
 	if s.state != StateAssociated {
 		pb.Release()

@@ -123,6 +123,8 @@ func (p *Port) Transmit(f Frame) {
 // xmit applies the MTU gate and fault profile, then transmits. It owns pb
 // (f.Payload views it) and releases it on every drop path; fault corruption
 // mutates the buffer in place.
+//
+//simvet:owner transfer releases pb on every drop path, else forwards it to transmit
 func (p *Port) xmit(f Frame, pb *pkt.Buf) {
 	if p.peer == nil {
 		pb.Release()
@@ -155,6 +157,8 @@ func (p *Port) xmit(f Frame, pb *pkt.Buf) {
 
 // transmit is the fault-free wire path: serialise on the cable, deliver to
 // the peer after airtime plus propagation.
+//
+//simvet:owner transfer pb rides the scheduled delivery closure to the peer's deliver
 func (p *Port) transmit(f Frame, pb *pkt.Buf) {
 	txTime := sim.Time(math.Round(float64(f.WireLen()*8) / p.bitsPerSec * float64(sim.Second)))
 	start := p.kernel.Now()
@@ -169,6 +173,9 @@ func (p *Port) transmit(f Frame, pb *pkt.Buf) {
 	p.kernel.Schedule(end+p.propDelay, func() { peer.deliver(f, pb) })
 }
 
+// deliver hands the frame to the receiver callback and retires the buffer.
+//
+//simvet:owner transfer releases pb once the receive callback (which may not keep views) returns
 func (p *Port) deliver(f Frame, pb *pkt.Buf) {
 	p.RxFrames++
 	p.RxBytes += uint64(f.WireLen())

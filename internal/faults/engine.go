@@ -112,8 +112,8 @@ func (e *Engine) Install(s Schedule) error {
 		for occ := 0; occ < inj.Count; occ++ {
 			inj := inj
 			start := inj.At + sim.Time(occ)*inj.Period
-			e.kernel.At(start, func() { e.apply(inj) })
-			e.kernel.At(start+inj.Duration, func() { e.revert(inj) })
+			e.kernel.Schedule(start, func() { e.apply(inj) })
+			e.kernel.Schedule(start+inj.Duration, func() { e.revert(inj) })
 		}
 	}
 	return nil

@@ -259,7 +259,7 @@ func (s *Stack) Send(src, dst inet.Addr, proto uint8, payload []byte) error {
 	// Broadcasts still go out (neighbours answer; we do not loop back).
 	for _, ifc := range s.ifaces {
 		if ifc.Addr == pkt.Dst {
-			s.kernel.After(0, func() { s.deliverLocal(pkt, "lo") })
+			s.kernel.ScheduleAfter(0, func() { s.deliverLocal(pkt, "lo") })
 			return nil
 		}
 	}
@@ -307,6 +307,8 @@ func (s *Stack) SendBuf(src, dst inet.Addr, proto uint8, pb *pktbuf.Buf) error {
 // pkt.Payload; route takes ownership, pushes the IP header into its headroom,
 // and releases it on every failure path. When pb is nil the payload is copied
 // into a fresh pooled buffer at transmit time.
+//
+//simvet:owner transfer owns pb (which may be nil) and settles it on every path
 func (s *Stack) route(pkt *Packet, inIface string, pb *pktbuf.Buf) error {
 	release := func() {
 		if pb != nil {

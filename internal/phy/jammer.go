@@ -44,5 +44,5 @@ func (j *Jammer) burst() {
 	j.Bursts++
 	end := j.radio.Send(j.payload, j.rate)
 	// Back-to-back bursts: the channel never goes idle.
-	j.kernel.At(end, j.burst)
+	j.kernel.Schedule(end, j.burst)
 }

@@ -550,7 +550,7 @@ func (c *Conn) maybeFinishClose() {
 		}
 		if c.state != StateTimeWait {
 			c.state = StateTimeWait
-			c.kernel().After(timeWaitDur, func() { c.teardown(nil) })
+			c.kernel().ScheduleAfter(timeWaitDur, func() { c.teardown(nil) })
 			// Report graceful completion now; the socket lingers only
 			// for late segments.
 			c.fireClose(nil)

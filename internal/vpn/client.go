@@ -266,9 +266,9 @@ func ConnectUDP(ip *ipv4.Stack, u *udp.Stack, cfg ClientConfig) (*Client, error)
 			if lastMsg != nil {
 				_ = sock.SendTo(cfg.Server, lastMsg[2:])
 			}
-			ip.Kernel().After(sim.Second, func() { retry(n + 1) })
+			ip.Kernel().ScheduleAfter(sim.Second, func() { retry(n + 1) })
 		}
-		ip.Kernel().After(sim.Second, func() { retry(0) })
+		ip.Kernel().ScheduleAfter(sim.Second, func() { retry(0) })
 	}
 	c.redial = func() {
 		c.hsGen++
@@ -472,7 +472,7 @@ func (c *Client) scheduleReconnect() {
 		c.rng = c.ip.Kernel().RNG().Fork()
 	}
 	d := c.bo.next(c.rng)
-	c.ip.Kernel().After(d, func() {
+	c.ip.Kernel().ScheduleAfter(d, func() {
 		if c.state != stateIdle {
 			return
 		}

@@ -317,7 +317,7 @@ func (p *peer) retry() {
 		p.rng = p.k.RNG().Fork()
 	}
 	d := p.bo.next(p.rng)
-	p.k.After(d, func() {
+	p.k.ScheduleAfter(d, func() {
 		if p.state != stateIdle {
 			return
 		}

@@ -10,6 +10,8 @@ const maxKeySize = IVLen + KeySize104
 // headroom, the ICV is extended into its tailroom, and RC4 runs over the body
 // where it lies. Nothing is allocated: the per-frame RC4 state lives on the
 // stack (see RC4.Reset).
+//
+//simvet:owner borrow in-place crypto over the caller's view; the caller keeps the release obligation
 func SealInPlace(key Key, iv IV, keyID byte, pb *pkt.Buf) {
 	if err := key.Validate(); err != nil {
 		panic(err)
@@ -32,6 +34,8 @@ func SealInPlace(key Key, iv IV, keyID byte, pb *pkt.Buf) {
 // IV/key-ID header and trimming the ICV so the buffer's view becomes the
 // plaintext. On error the buffer's contents are unspecified (the body may be
 // half-transformed); the caller still owns it and must Release as usual.
+//
+//simvet:owner borrow in-place crypto over the caller's view; the caller keeps the release obligation
 func OpenInPlace(key Key, pb *pkt.Buf) error {
 	if err := key.Validate(); err != nil {
 		return err

@@ -16,8 +16,16 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
-echo "== simvet (determinism contract) =="
-go run ./cmd/simvet ./...
+echo "== simvet self-tests (analyzer fixtures) =="
+go test -run 'TestSuiteNames|TestBufleak|TestBufuseafter|TestEventpool|TestOwnerValidator|TestAllow|TestEndToEnd' ./internal/analysis/...
+
+echo "== simvet (determinism + ownership contract) =="
+if [ "${GITHUB_ACTIONS:-}" = "true" ]; then
+	# Inside Actions, emit ::error/::notice annotations on the PR diff.
+	go run ./cmd/simvet -json ./... | sh scripts/simvet_annotate.sh
+else
+	go run ./cmd/simvet ./...
+fi
 
 if command -v staticcheck >/dev/null 2>&1; then
 	echo "== staticcheck =="

@@ -1,0 +1,40 @@
+#!/bin/sh
+# scripts/simvet_annotate.sh — turn `simvet -json` output (stdin) into GitHub
+# Actions workflow commands: one ::error per diagnostic (so findings show up
+# inline on the PR diff) and one ::notice per //simvet:allow suppression (so
+# accepted exceptions stay visible instead of silently scrolling by).
+#
+#   go run ./cmd/simvet -json ./... | sh scripts/simvet_annotate.sh
+#
+# Exits 1 when the report contains any diagnostic, so the CI step fails the
+# same way plain simvet does. Requires jq (preinstalled on GitHub runners);
+# without it the JSON is passed through untouched and the simvet exit code is
+# the only gate.
+set -eu
+
+if ! command -v jq >/dev/null 2>&1; then
+	echo "simvet_annotate: jq not found; passing the JSON through unannotated" >&2
+	cat
+	exit 0
+fi
+
+report=$(cat)
+root="$(pwd)/"
+
+# GitHub workflow commands carry the message on one line; %, CR and LF must
+# be escaped per the workflow-command spec. file= wants repo-relative paths,
+# while the driver reports absolute ones — strip the working tree prefix.
+printf '%s\n' "$report" | jq -r --arg root "$root" '
+	def esc: gsub("%"; "%25") | gsub("\r"; "%0D") | gsub("\n"; "%0A");
+	def rel: if startswith($root) then .[($root | length):] else . end;
+	(.diagnostics[]
+		| "::error file=\(.file | rel),line=\(.line),col=\(.column),title=simvet \(.analyzer)::\(.message | esc)"),
+	(.suppressions[]
+		| "::notice file=\(.file | rel),line=\(.line),col=\(.column),title=simvet:allow \(.analyzer)::suppressed \(.analyzer) diagnostic (reason: \(.reason | esc))")
+'
+
+printf '%s\n' "$report" |
+	jq -r '"simvet: \(.packages) package(s), \(.diagnostics | length) diagnostic(s), \(.suppressions | length) suppression(s)"' >&2
+
+count=$(printf '%s\n' "$report" | jq '.diagnostics | length')
+[ "$count" -eq 0 ] || exit 1
