@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/sim"
 )
 
 // benchScale keeps iterations fast; cmd/experiments runs the full scale.
@@ -228,4 +229,32 @@ func BenchmarkE14RelayChainChaos(b *testing.B) {
 		}
 		return true
 	})
+}
+
+// BenchmarkE15CampusScale — campus-scale rogue capture on the sharded
+// medium: full association at every size, with the rogue's catch bounded by
+// its one interference neighborhood.
+func BenchmarkE15CampusScale(b *testing.B) {
+	benchTable(b, experiments.E15CampusScale, func(t experiments.Table) bool {
+		return len(t.Rows) == 2 && t.Rows[0][2] == "100%" && t.Rows[1][2] == "100%"
+	})
+}
+
+// BenchmarkCampusWorld — raw campus throughput: build a 64-AP/1024-station
+// world (rogue included) and run two simulated seconds of join/scan/traffic,
+// reporting kernel events per wall-clock second.
+func BenchmarkCampusWorld(b *testing.B) {
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		w := core.NewCampusWorld(core.CampusConfig{
+			Seed:  1,
+			Rogue: true,
+			Topology: core.TopologyConfig{
+				Kind: core.TopoCampus, Seed: 1, APs: 64, STAs: 1024,
+			},
+		})
+		events += w.Kernel.RunFor(2 * sim.Second)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(b.N)*2/b.Elapsed().Seconds(), "simsec/wallsec")
 }

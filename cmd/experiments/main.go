@@ -1,5 +1,5 @@
 // Command experiments regenerates the paper-reproduction tables (DESIGN.md
-// E1–E14). Run everything:
+// E1–E15). Run everything:
 //
 //	go run ./cmd/experiments
 //
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "comma-separated experiment ids (e1,e2,e2b,e2c,e2d,e3,e4,e5,e6,e7,e8,e9,e10,e11,e12,e13,e14) or 'all'")
+	run := flag.String("run", "all", "comma-separated experiment ids (e1,e2,e2b,e2c,e2d,e3,e4,e5,e6,e7,e8,e9,e10,e11,e12,e13,e14,e15) or 'all'")
 	trials := flag.Int("trials", 5, "trials per sweep point")
 	quick := flag.Bool("quick", false, "reduce the heaviest experiments")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -91,6 +91,7 @@ func main() {
 		{"e12", experiments.E12BurstLoss},
 		{"e13", experiments.E13FirstHopRogue},
 		{"e14", experiments.E14RelayChainChaos},
+		{"e15", experiments.E15CampusScale},
 	}
 	ran := 0
 	for _, e := range list {

@@ -55,6 +55,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if o.World == nil {
+		// Campus scenarios: generated topology, no single-victim world.
+		printCampus(o, *digest)
+		return
+	}
 	cfg := o.World.Cfg // defaults filled in
 	fmt.Printf("scenario: SSID %q, AP ch %d", cfg.SSID, cfg.APChannel)
 	if cfg.Rogue {
@@ -83,6 +88,28 @@ func main() {
 		}
 	}
 	if *digest {
+		fmt.Printf("trace digest: %016x\n", o.Digest)
+	}
+	os.Exit(exitCode)
+}
+
+func printCampus(o *core.ScenarioOutcome, digest bool) {
+	r := o.CampusResult
+	fmt.Printf("scenario: SSID %q, %d APs / %d stations (%s topology, seed %d)\n",
+		core.CampusSSID, r.APs, r.STAs, o.Campus.Topo.Kind, o.Campus.Topo.Seed)
+	for _, m := range o.Milestones {
+		fmt.Printf("t=%-6v %s\n", m.At.Duration().Round(1e6), m.Msg)
+	}
+	exitCode := 0
+	if o.Campus.Faults != nil {
+		fmt.Printf("chaos: %d fault(s) applied, %d reverted, converged=%v\n",
+			o.Campus.Faults.Applied, o.Campus.Faults.Reverted, o.Converged)
+	}
+	if !o.Converged {
+		fmt.Printf("campus did not converge: %d/%d stations associated\n", r.Associated, r.STAs)
+		exitCode = 1
+	}
+	if digest {
 		fmt.Printf("trace digest: %016x\n", o.Digest)
 	}
 	os.Exit(exitCode)

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestCampusDigestStability replays both campus scenarios across seeds and
+// GOMAXPROCS settings: every replay of (scenario, seed) must produce a
+// byte-identical trace digest. The campus worlds run entirely on the sharded
+// medium, so this is the determinism contract (DESIGN.md §8, §13) applied to
+// the new spatial-index delivery path — and the GOMAXPROCS axis proves the
+// schedule never leaks through core.Sweep-style parallelism or map
+// iteration.
+func TestCampusDigestStability(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, name := range []string{"campus", "campus-rogue"} {
+		for _, seed := range []uint64{1, 7, 42} {
+			var want uint64
+			first := true
+			for _, procs := range []int{1, 4} {
+				runtime.GOMAXPROCS(procs)
+				for rep := 0; rep < 2; rep++ {
+					o, err := RunScenario(name, seed, false)
+					if err != nil {
+						t.Fatalf("%s seed %d: %v", name, seed, err)
+					}
+					if first {
+						want = o.Digest
+						first = false
+						continue
+					}
+					if o.Digest != want {
+						t.Errorf("%s seed %d GOMAXPROCS=%d rep=%d: digest %016x, want %016x",
+							name, seed, procs, rep, o.Digest, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCampusRogueCaptures pins the qualitative §4 result at campus scale:
+// the high-power SSID clone captures part of cluster 0 (but not the whole
+// campus), harvests their traffic, and the rest of the ESS is unaffected.
+func TestCampusRogueCaptures(t *testing.T) {
+	o, err := RunScenario("campus-rogue", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := o.CampusResult
+	if r.Associated != r.STAs {
+		t.Errorf("associated %d/%d stations", r.Associated, r.STAs)
+	}
+	if r.OnRogue == 0 {
+		t.Error("rogue captured nobody")
+	}
+	if r.OnRogue >= r.STAs/campusScenarioAPs*2 {
+		t.Errorf("rogue captured %d stations — more than its neighbourhood", r.OnRogue)
+	}
+	if r.RogueFrames == 0 {
+		t.Error("rogue harvested no traffic")
+	}
+	if r.APFrames == 0 {
+		t.Error("no traffic reached the legitimate APs")
+	}
+}
+
+// TestCampusCleanHasNoRogue: without the rogue, every station lands on its
+// home AP's BSSID and nothing is harvested.
+func TestCampusCleanHasNoRogue(t *testing.T) {
+	o, err := RunScenario("campus", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := o.CampusResult
+	if !o.Converged || r.Associated != r.STAs {
+		t.Errorf("converged=%v, associated %d/%d", o.Converged, r.Associated, r.STAs)
+	}
+	if r.OnRogue != 0 || r.RogueFrames != 0 {
+		t.Errorf("phantom rogue: OnRogue=%d RogueFrames=%d", r.OnRogue, r.RogueFrames)
+	}
+	for i, sta := range o.Campus.STAs {
+		want := o.Campus.Topo.APs[o.Campus.Topo.STAs[i].Home].BSSID
+		if got := sta.BSS().BSSID; got != want {
+			t.Fatalf("sta %d associated to %v, want home AP %v", i, got, want)
+		}
+	}
+}

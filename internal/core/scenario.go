@@ -44,6 +44,11 @@ type ScenarioOutcome struct {
 	// Detect scenario.
 	Alerts     []detect.Alert
 	FramesSeen uint64
+
+	// Campus scenarios: the generated world (World is nil for these) and
+	// its end-of-run observables.
+	Campus       *CampusWorld
+	CampusResult CampusResult
 }
 
 // ScenarioNames lists every runnable scenario, in a fixed order.
@@ -51,6 +56,7 @@ func ScenarioNames() []string {
 	return []string{
 		"healthy", "attack", "vpn", "mesh", "detect",
 		"chaos-deauth", "chaos-apcrash", "chaos-burst", "chaos-relay",
+		"campus", "campus-rogue",
 	}
 }
 
@@ -107,6 +113,10 @@ func ScenarioConfig(name string, seed uint64) (Config, error) {
 		cfg.Overlay = true
 		cfg.VPNKeepalive = 2 * sim.Second
 		cfg.Faults = "relay-drop"
+	case "campus", "campus-rogue":
+		// Generated-topology scenarios have no single-victim Config; they
+		// are dispatched directly by RunScenarioFaults.
+		return Config{}, fmt.Errorf("core: scenario %q uses a generated topology and has no Config; use RunScenario", name)
 	default:
 		return Config{}, fmt.Errorf("core: unknown scenario %q", name)
 	}
@@ -132,6 +142,11 @@ func RunScenario(name string, seed uint64, checks bool) (*ScenarioOutcome, error
 // An empty schedule keeps the scenario's own. This is what roguesim -faults
 // and the chaos sweeps drive.
 func RunScenarioFaults(name string, seed uint64, checks bool, schedule string) (*ScenarioOutcome, error) {
+	if name == "campus" || name == "campus-rogue" {
+		// Campus scenarios build a generated world, not the single-victim
+		// Config world, so they dispatch before ScenarioConfig.
+		return runCampusScenario(name, seed, checks, schedule), nil
+	}
 	cfg, err := ScenarioConfig(name, seed)
 	if err != nil {
 		return nil, err
@@ -152,8 +167,15 @@ func RunScenarioFaults(name string, seed uint64, checks bool, schedule string) (
 const convergenceGrace = 30 * sim.Second
 
 func (o *ScenarioOutcome) milestonef(format string, args ...any) {
+	var at sim.Time
+	switch {
+	case o.World != nil:
+		at = o.World.Kernel.Now()
+	case o.Campus != nil:
+		at = o.Campus.Kernel.Now()
+	}
 	o.Milestones = append(o.Milestones, Milestone{
-		At:  o.World.Kernel.Now(),
+		At:  at,
 		Msg: fmt.Sprintf(format, args...),
 	})
 }

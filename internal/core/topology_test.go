@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestGenerateTopologyCampus(t *testing.T) {
+	topo := GenerateTopology(TopologyConfig{Kind: TopoCampus, Seed: 1, APs: 12, STAs: 72})
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.APs) != 12 || len(topo.STAs) != 72 {
+		t.Fatalf("got %d APs / %d STAs", len(topo.APs), len(topo.STAs))
+	}
+	// Every cluster is populated (round-robin homes).
+	perAP := make([]int, 12)
+	for _, sta := range topo.STAs {
+		perAP[sta.Home]++
+	}
+	for i, n := range perAP {
+		if n != 6 {
+			t.Errorf("AP %d has %d stations, want 6", i, n)
+		}
+	}
+	// Grid neighbours never share a channel: the (row+2·col) mod 3
+	// coloring differs across any single grid step.
+	cols := int(math.Ceil(math.Sqrt(12)))
+	for i, ap := range topo.APs {
+		row, col := i/cols, i%cols
+		for _, j := range []int{i + 1, i + cols} {
+			if j >= len(topo.APs) {
+				continue
+			}
+			jr, jc := j/cols, j%cols
+			adjacent := (jr == row && jc == col+1) || (jr == row+1 && jc == col)
+			if adjacent && topo.APs[j].Channel == ap.Channel {
+				t.Errorf("grid neighbours %s and %s share channel %d",
+					ap.Name, topo.APs[j].Name, ap.Channel)
+			}
+		}
+	}
+}
+
+func TestGenerateTopologyDeterministic(t *testing.T) {
+	cfg := TopologyConfig{Kind: TopoStadium, Seed: 99, APs: 30, STAs: 300}
+	a, b := GenerateTopology(cfg), GenerateTopology(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config generated different topologies")
+	}
+	cfg.Seed = 100
+	c := GenerateTopology(cfg)
+	if reflect.DeepEqual(a.STAs, c.STAs) {
+		t.Fatal("different seeds generated identical station placements")
+	}
+}
+
+func TestGenerateTopologyAllKindsValidate(t *testing.T) {
+	for _, kind := range TopologyKinds() {
+		for _, n := range []struct{ aps, stas int }{{1, 0}, {3, 7}, {16, 256}, {64, 1024}} {
+			topo := GenerateTopology(TopologyConfig{Kind: kind, Seed: 7, APs: n.aps, STAs: n.stas})
+			if err := topo.Validate(); err != nil {
+				t.Errorf("%v %d/%d: %v", kind, n.aps, n.stas, err)
+			}
+		}
+	}
+}
+
+func TestGenerateTopologyJoinWindow(t *testing.T) {
+	win := 3 * sim.Second
+	topo := GenerateTopology(TopologyConfig{Kind: TopoOffice, Seed: 5, APs: 4, STAs: 40, JoinWindow: win})
+	for _, sta := range topo.STAs {
+		if sta.JoinAt < 0 || sta.JoinAt >= win {
+			t.Fatalf("%s joins at %v, outside [0, %v)", sta.Name, sta.JoinAt, win)
+		}
+	}
+}
+
+func TestValidateRejectsBrokenLayouts(t *testing.T) {
+	base := func() *Topology {
+		return GenerateTopology(TopologyConfig{Kind: TopoCampus, Seed: 1, APs: 4, STAs: 8})
+	}
+	for name, breakIt := range map[string]func(*Topology){
+		"off-plan channel": func(t *Topology) { t.APs[0].Channel = 3 },
+		"duplicate BSSID":  func(t *Topology) { t.APs[1].BSSID = t.APs[0].BSSID },
+		"duplicate MAC":    func(t *Topology) { t.STAs[1].MAC = t.STAs[0].MAC },
+		"orphan home":      func(t *Topology) { t.STAs[0].Home = 99 },
+		"disconnected STA": func(t *Topology) { t.STAs[0].Pos.X += 5000 },
+		"non-finite pos":   func(t *Topology) { t.APs[0].Pos.Y = math.NaN() },
+		"negative join":    func(t *Topology) { t.STAs[0].JoinAt = -sim.Second },
+	} {
+		topo := base()
+		breakIt(topo)
+		if err := topo.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a broken layout", name)
+		}
+	}
+}
+
+// FuzzTopologyGenerator: for ANY seed, kind, size, and spacing — including
+// hostile floats — the generator must yield a layout that passes Validate
+// (channel-legal, connected, unique addresses) and must be a pure function
+// of its config.
+func FuzzTopologyGenerator(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint16(12), uint16(72), 55.0)
+	f.Add(uint64(42), uint8(1), uint16(1), uint16(0), 0.0)
+	f.Add(uint64(7), uint8(2), uint16(500), uint16(2000), 9999.0)
+	f.Add(uint64(3), uint8(0), uint16(0), uint16(9), math.Inf(1))
+	f.Add(uint64(9), uint8(1), uint16(3), uint16(30), math.NaN())
+	f.Fuzz(func(t *testing.T, seed uint64, kind uint8, aps, stas uint16, spacing float64) {
+		cfg := TopologyConfig{
+			Kind:       TopologyKinds()[int(kind)%3],
+			Seed:       seed,
+			APs:        int(aps % 512),
+			STAs:       int(stas % 2048),
+			APSpacingM: spacing,
+		}
+		topo := GenerateTopology(cfg)
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("config %+v: %v", cfg, err)
+		}
+		if again := GenerateTopology(cfg); !reflect.DeepEqual(topo, again) {
+			t.Fatalf("config %+v: generator is not deterministic", cfg)
+		}
+	})
+}

@@ -378,5 +378,6 @@ func All(s Scale) []Table {
 		E12BurstLoss(s),
 		E13FirstHopRogue(s),
 		E14RelayChainChaos(s),
+		E15CampusScale(s),
 	}
 }

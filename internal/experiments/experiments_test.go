@@ -326,3 +326,24 @@ func TestParallelSweepsMatchSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestE15Shape: the campus fully associates at every scale, the rogue's
+// catch stays a single-neighborhood slice of the campus, and the medium
+// moves traffic at every size.
+func TestE15Shape(t *testing.T) {
+	tbl := E15CampusScale(Scale{Trials: 1, Quick: true})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tbl.Rows))
+	}
+	for i, row := range tbl.Rows {
+		if got := mustCell(t, tbl, i, 2); got != "100%" {
+			t.Fatalf("row %d (%s stations): assoc = %q, want 100%%", i, row[0], got)
+		}
+		if got := mustCell(t, tbl, i, 3); got == "0.0" {
+			t.Fatalf("row %d (%s stations): rogue captured nobody", i, row[0])
+		}
+		if got := mustCell(t, tbl, i, 5); got == "0" {
+			t.Fatalf("row %d (%s stations): no medium throughput", i, row[0])
+		}
+	}
+}

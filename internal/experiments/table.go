@@ -1,5 +1,5 @@
 // Package experiments regenerates every table/figure-equivalent of the
-// paper's evaluation (see DESIGN.md's experiment index, E1–E12). Each
+// paper's evaluation (see DESIGN.md's experiment index, E1–E15). Each
 // function builds the relevant worlds via internal/core, sweeps parameters
 // across CPU cores, and returns a formatted Table. cmd/experiments prints
 // them; the repository-root benchmarks time them.

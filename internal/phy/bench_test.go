@@ -1,0 +1,57 @@
+package phy
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// benchmarkMediumBroadcast measures per-transmission delivery cost at a
+// given world size: radios on a 90 m grid cycling through the 1/6/11 plan,
+// with senders rotating through the population so no single neighborhood
+// stays hot. Sharded delivery evaluates one interference neighborhood per
+// frame, so ns/op should stay roughly flat as the world grows; the
+// Unsharded variant (DisableSharding: the pre-shard O(radios) scan) scales
+// linearly and is the comparison floor for the events/sec claim.
+func benchmarkMediumBroadcast(b *testing.B, n int, disable bool) {
+	k := sim.NewKernel(1)
+	m := NewMedium(k, Config{DisableSharding: disable})
+	side := int(math.Ceil(math.Sqrt(float64(n))))
+	plan := [3]Channel{1, 6, 11}
+	for i := 0; i < n; i++ {
+		r := m.AddRadio(RadioConfig{
+			Name:    fmt.Sprintf("r%d", i),
+			Pos:     Position{X: float64(i%side) * 90, Y: float64(i/side) * 90},
+			Channel: plan[i%3],
+		})
+		r.SetReceiver(func(data []byte, info RxInfo) {})
+	}
+	radios := m.Radios()
+	payload := make([]byte, 512)
+	var events uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		radios[i%n].Send(payload, Rate11Mbps)
+		// 512 bytes at 11 Mb/s is well under a millisecond: each iteration
+		// is one complete transmission plus its delivery fan-out.
+		events += k.RunFor(sim.Millisecond)
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
+func BenchmarkMediumBroadcast(b *testing.B) {
+	for _, n := range []int{64, 1024, 4096} {
+		n := n
+		b.Run(fmt.Sprintf("radios=%d", n), func(b *testing.B) {
+			benchmarkMediumBroadcast(b, n, false)
+		})
+	}
+}
+
+func BenchmarkMediumBroadcastUnsharded(b *testing.B) {
+	b.Run("radios=1024", func(b *testing.B) {
+		benchmarkMediumBroadcast(b, 1024, true)
+	})
+}

@@ -1,6 +1,8 @@
 package phy
 
 import (
+	"math"
+
 	"repro/internal/sim"
 )
 
@@ -17,6 +19,9 @@ type Jammer struct {
 
 	// Bursts counts jamming transmissions.
 	Bursts uint64
+	// peakEnergy is the strongest co-channel energy sensed at any burst
+	// boundary (see ObservedEnergyDBm).
+	peakEnergy float64
 }
 
 // NewJammer starts continuous jamming on the radio's channel with bursts of
@@ -29,7 +34,10 @@ func NewJammer(k *sim.Kernel, radio *Radio, burstBytes int, rate Rate) *Jammer {
 	if rate == 0 {
 		rate = Rate1Mbps
 	}
-	j := &Jammer{kernel: k, radio: radio, payload: make([]byte, burstBytes), rate: rate}
+	j := &Jammer{
+		kernel: k, radio: radio, payload: make([]byte, burstBytes), rate: rate,
+		peakEnergy: math.Inf(-1),
+	}
 	j.burst()
 	return j
 }
@@ -37,9 +45,23 @@ func NewJammer(k *sim.Kernel, radio *Radio, burstBytes int, rate Rate) *Jammer {
 // Stop ends the jamming after the current burst.
 func (j *Jammer) Stop() { j.stopped = true }
 
+// ObservedEnergyDBm reports the strongest energy the jammer's radio sensed
+// on its channel at any burst boundary — the noise floor if the air was
+// always otherwise quiet. The jammer has no receiver (it decodes nothing),
+// so this reads the medium's per-channel shard index directly via
+// Radio.EnergyDBm: energy from channels past the rejection range never
+// registers, because those shards are outside the radio's neighborhood.
+func (j *Jammer) ObservedEnergyDBm() float64 { return j.peakEnergy }
+
 func (j *Jammer) burst() {
 	if j.stopped {
 		return
+	}
+	// Sample the air before keying up: our own burst is excluded from
+	// EnergyDBm while transmitting, but competing transmissions mid-flight
+	// at this instant are what the jammer can sense between bursts.
+	if e := j.radio.EnergyDBm(); e > j.peakEnergy {
+		j.peakEnergy = e
 	}
 	j.Bursts++
 	end := j.radio.Send(j.payload, j.rate)

@@ -60,6 +60,49 @@ func TestJammerDeniesChannel(t *testing.T) {
 	}
 }
 
+func TestJammerEnergyIsShardLocal(t *testing.T) {
+	// The jammer senses the air through the per-channel shard index
+	// (Radio.EnergyDBm), not through a receiver. A jammer on channel 6 must
+	// never observe channel-11 energy beyond the rejection floor — channels
+	// 5 apart are orthogonal, so that shard is outside its neighborhood —
+	// while the same blaster moved to channel 6 registers loudly.
+	k, m := newTestMedium(1)
+	noise := m.cfg.NoiseFloorDBm
+	jamRadio := m.AddRadio(RadioConfig{Name: "jam", Pos: Position{0, 0}, Channel: 6})
+	j := NewJammer(k, jamRadio, 700, Rate1Mbps)
+	// A continuous channel-11 blaster right next to the jammer: different
+	// burst length so its airtime interleaves with the jammer's samples.
+	blaster := m.AddRadio(RadioConfig{Name: "blast", Pos: Position{1, 0}, Channel: 11})
+	var sendNext func()
+	sendNext = func() {
+		end := blaster.Send(make([]byte, 400), Rate1Mbps)
+		k.Schedule(end, sendNext)
+	}
+	sendNext()
+	k.RunFor(2 * sim.Second)
+	j.Stop()
+	if got := j.ObservedEnergyDBm(); got > noise {
+		t.Fatalf("channel-6 jammer observed %v dBm of channel-11 energy (rejection floor %v)", got, noise)
+	}
+
+	// Positive control: the same geometry on a co-channel blaster.
+	k2, m2 := newTestMedium(1)
+	jamRadio2 := m2.AddRadio(RadioConfig{Name: "jam", Pos: Position{0, 0}, Channel: 6})
+	j2 := NewJammer(k2, jamRadio2, 700, Rate1Mbps)
+	blaster2 := m2.AddRadio(RadioConfig{Name: "blast", Pos: Position{1, 0}, Channel: 6})
+	var sendNext2 func()
+	sendNext2 = func() {
+		end := blaster2.Send(make([]byte, 400), Rate1Mbps)
+		k2.Schedule(end, sendNext2)
+	}
+	sendNext2()
+	k2.RunFor(2 * sim.Second)
+	j2.Stop()
+	if got := j2.ObservedEnergyDBm(); got <= m2.cfg.CarrierSenseDBm {
+		t.Fatalf("co-channel jammer observed only %v dBm, want above carrier-sense threshold", got)
+	}
+}
+
 func TestJammerIsChannelLocal(t *testing.T) {
 	k, m := newTestMedium(1)
 	jamRadio := m.AddRadio(RadioConfig{Name: "jam", Pos: Position{0, 0}, Channel: 1})

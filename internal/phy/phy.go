@@ -101,6 +101,11 @@ type Config struct {
 	CaptureThresholdDB float64
 	// CarrierSenseDBm: energy above this is "channel busy" (default -85).
 	CarrierSenseDBm float64
+	// DisableSharding makes delivery scan every attached radio per
+	// transmission, the pre-shard O(radios) behaviour. It exists for the
+	// differential tests and the sharded-vs-unsharded benchmarks; real
+	// worlds never set it.
+	DisableSharding bool
 }
 
 func (c *Config) fill() {
@@ -140,12 +145,28 @@ type BurstLoss struct {
 }
 
 // Medium is the shared air. All radios attach to one Medium.
+//
+// Internally the medium is partitioned into one shard per channel (see
+// shard.go): each shard tracks its member radios in a spatial grid and the
+// transmissions currently on its air, so a delivery touches only the
+// interference neighborhood — O(neighbors), not O(all radios).
 type Medium struct {
 	kernel *sim.Kernel
 	cfg    Config
 	rng    *sim.RNG
+	// radios is the global attach-order list; each radio's position in it
+	// (Radio.idx) fixes the delivery fan-out order.
 	radios []*Radio
-	active []*transmission
+	// shards[1..11] partition radios and active transmissions by channel.
+	shards [MaxChannel + 1]mediumShard
+	// cellSize is the grid cell edge (one default-power decode range).
+	cellSize float64
+	// spatial enables grid pruning plus the decode floor. It is off when
+	// shadowing is on (reception at any distance is then a draw the loss
+	// model must keep making) and under DisableSharding.
+	spatial bool
+	// cand is the delivery loop's candidate scratch buffer.
+	cand []*Radio
 
 	// burst, when non-nil, is the active Gilbert–Elliott fault state
 	// (internal/faults installs it). burstBad is the current chain state.
@@ -192,7 +213,10 @@ type transmission struct {
 // NewMedium creates an empty medium on the kernel.
 func NewMedium(k *sim.Kernel, cfg Config) *Medium {
 	cfg.fill()
-	return &Medium{kernel: k, cfg: cfg, rng: k.RNG().Fork()}
+	m := &Medium{kernel: k, cfg: cfg, rng: k.RNG().Fork()}
+	m.cellSize = m.maxDecodeRange(defaultTxPowerDBm)
+	m.spatial = cfg.ShadowingSigmaDB == 0 && !cfg.DisableSharding
+	return m
 }
 
 // SetBurstLoss installs (or, with nil, clears) the Gilbert–Elliott burst
@@ -295,6 +319,15 @@ type Radio struct {
 	// down radios neither transmit nor receive — the link-flap fault.
 	down bool
 
+	// idx is the radio's global attach order; deliveries fan out in
+	// ascending idx, which is the determinism contract's total order.
+	idx int
+	// shardIdx/cell/cellIdx locate the radio inside its channel shard and
+	// grid cell for O(1) migration (see shard.go).
+	shardIdx int
+	cell     gridKey
+	cellIdx  int
+
 	// Counters.
 	TxFrames, RxFrames, RxCollisions, RxBelowSNR uint64
 	TxWhileDown                                  uint64
@@ -311,7 +344,7 @@ type RadioConfig struct {
 // AddRadio attaches a new radio to the medium.
 func (m *Medium) AddRadio(cfg RadioConfig) *Radio {
 	if cfg.TxPowerDBm == 0 {
-		cfg.TxPowerDBm = 15
+		cfg.TxPowerDBm = defaultTxPowerDBm
 	}
 	if cfg.Channel == 0 {
 		cfg.Channel = 1
@@ -320,7 +353,9 @@ func (m *Medium) AddRadio(cfg RadioConfig) *Radio {
 		panic(fmt.Sprintf("phy: invalid channel %d", cfg.Channel))
 	}
 	r := &Radio{medium: m, name: cfg.Name, pos: cfg.Pos, channel: cfg.Channel, txPower: cfg.TxPowerDBm}
+	r.idx = len(m.radios)
 	m.radios = append(m.radios, r)
+	m.shard(r.channel).insert(r, m.cellOf(r.pos))
 	return r
 }
 
@@ -330,24 +365,43 @@ func (r *Radio) Name() string { return r.name }
 // Position reports the radio's location.
 func (r *Radio) Position() Position { return r.pos }
 
-// SetPosition moves the radio (client mobility).
-func (r *Radio) SetPosition(p Position) { r.pos = p }
+// SetPosition moves the radio (client mobility), migrating it between grid
+// cells when it crosses a cell boundary.
+func (r *Radio) SetPosition(p Position) {
+	r.pos = p
+	s := r.medium.shard(r.channel)
+	if key := r.medium.cellOf(p); key != r.cell {
+		s.removeFromCell(r)
+		cell := s.grid[key]
+		r.cell = key
+		r.cellIdx = len(cell)
+		s.grid[key] = append(cell, r)
+	}
+}
 
 // Channel reports the tuned channel.
 func (r *Radio) Channel() Channel { return r.channel }
 
-// SetChannel retunes the radio (used by scanning clients and monitors).
+// SetChannel retunes the radio (used by scanning clients and monitors),
+// migrating it to the new channel's shard.
 func (r *Radio) SetChannel(c Channel) {
 	if !c.Valid() {
 		panic(fmt.Sprintf("phy: invalid channel %d", c))
 	}
+	if c == r.channel {
+		return
+	}
+	r.medium.shard(r.channel).remove(r)
 	r.channel = c
+	r.medium.shard(c).insert(r, r.cell)
 }
 
 // SetDown takes the radio off the air (link-flap fault) or brings it back.
 // A down radio's transmissions vanish silently and it hears nothing — from
 // the protocol's point of view the hardware momentarily died, which is
-// precisely what the self-healing logic above it must survive.
+// precisely what the self-healing logic above it must survive. The radio
+// keeps its shard/grid membership while down — flaps are transient and the
+// delivery loop's down-check is cheaper than churning the index.
 func (r *Radio) SetDown(down bool) { r.down = down }
 
 // Down reports whether the radio is administratively down.
@@ -364,26 +418,13 @@ func (r *Radio) SetTxPowerDBm(p float64) { r.txPower = p }
 // which is exactly why wireless sniffing is trivial.
 func (r *Radio) SetReceiver(recv Receiver) { r.recv = recv }
 
-// CarrierBusy reports whether the radio senses energy on its channel.
+// CarrierBusy reports whether the radio senses energy on its channel. A
+// down radio senses nothing.
 func (r *Radio) CarrierBusy() bool {
 	if r.down {
-		return false // a dead radio senses nothing
+		return false
 	}
-	now := r.medium.kernel.Now()
-	for _, t := range r.medium.active {
-		if t.end <= now || t.start > now || t.src == r {
-			continue
-		}
-		rej := channelRejectionDB(t.channel, r.channel)
-		if math.IsInf(rej, 1) {
-			continue
-		}
-		p := t.powerDBm - r.medium.pathLossDB(t.src.pos, r.pos) - rej
-		if p >= r.medium.cfg.CarrierSenseDBm {
-			return true
-		}
-	}
-	return false
+	return r.EnergyDBm() >= r.medium.cfg.CarrierSenseDBm
 }
 
 // Send transmits data at the given rate on the radio's channel. It adopts
@@ -421,15 +462,23 @@ func (r *Radio) SendBuf(pb *pkt.Buf, rate Rate) sim.Time {
 	tx := m.getTx()
 	tx.src, tx.channel, tx.start, tx.end = r, r.channel, start, end
 	tx.powerDBm, tx.data, tx.buf, tx.rate, tx.air = r.txPower, pb.Bytes(), pb, rate, air
-	for _, t := range m.active {
-		if t.end > start && t.start < end {
-			t.overlaps = append(t.overlaps, tx)
-			tx.pins++
-			tx.overlaps = append(tx.overlaps, t)
-			t.pins++
+	// Register overlaps across every shard (in fixed channel order): a
+	// transmission up to 8 channels away can still interfere at a receiver
+	// sitting between the two, so the overlap graph stays channel-blind —
+	// exactly as wide as the pre-shard global scan. Per-receiver rejection
+	// decides what actually matters at delivery time.
+	for ch := MinChannel; ch <= MaxChannel; ch++ {
+		for _, t := range m.shards[ch].active {
+			if t.end > start && t.start < end {
+				t.overlaps = append(t.overlaps, tx)
+				tx.pins++
+				tx.overlaps = append(tx.overlaps, t)
+				t.pins++
+			}
 		}
 	}
-	m.active = append(m.active, tx)
+	s := m.shard(r.channel)
+	s.active = append(s.active, tx)
 	m.kernel.Schedule(end, tx.completeFn)
 	return end
 }
@@ -458,39 +507,72 @@ func (m *Medium) putTx(tx *transmission) {
 }
 
 // complete runs at a transmission's end time: it evaluates reception at each
-// candidate radio and prunes the active list.
+// candidate radio and prunes its shard's active list. The whole fan-out runs
+// inside a delivery barrier, so every pkt.Buf released by a receiver —
+// including tx's own buffer — is parked in the pool's arena and recycled
+// only after the last receiver has run.
 func (m *Medium) complete(tx *transmission) {
 	rate, air := tx.rate, tx.air
+	m.kernel.BeginDelivery()
+	defer m.kernel.EndDelivery()
 	// The Release receiver is bound here, before retire can recycle tx.
 	defer tx.buf.Release()
 	defer m.retire(tx)
 	now := m.kernel.Now()
 	overlaps := tx.overlaps
-	kept := m.active[:0]
-	for _, t := range m.active {
+	s := m.shard(tx.channel)
+	kept := s.active[:0]
+	for _, t := range s.active {
 		if t != tx && t.end > now {
 			kept = append(kept, t)
 		}
 	}
-	for i := len(kept); i < len(m.active); i++ {
-		m.active[i] = nil
+	for i := len(kept); i < len(s.active); i++ {
+		s.active[i] = nil
 	}
-	m.active = kept
+	s.active = kept
 
 	if m.burstHit() {
 		m.BurstDrops++
 		return
 	}
 
-	for _, rx := range m.radios {
-		if rx == tx.src || rx.down {
+	// Candidate order is the global attach order in every mode — the RNG
+	// draw sequence per candidate is what the digest contract pins.
+	var cand []*Radio
+	if m.cfg.DisableSharding {
+		cand = m.radios
+	} else {
+		cand = m.gatherCandidates(tx)
+	}
+	for _, rx := range cand {
+		// No-receiver radios (the fault jammer is the only kind) are skipped
+		// before any loss draw: there is nothing to deliver to, so burning
+		// RNG state on them would couple every receiver's loss pattern to
+		// the presence of deaf hardware.
+		if rx == tx.src || rx.down || rx.recv == nil {
 			continue
 		}
 		rej := channelRejectionDB(tx.channel, rx.channel)
 		if math.IsInf(rej, 1) {
+			// Only reachable via the DisableSharding scan; the shard
+			// neighborhood never yields an orthogonal-channel radio.
 			continue
 		}
 		rssi := m.rxPowerDBm(tx.powerDBm, tx.src.pos, rx.pos) - rej
+		snr := rssi - m.cfg.NoiseFloorDBm
+		if m.spatial && snr+rej < decodeFloorSNRDB {
+			// Below the decode floor: deterministically lost, no RNG draw.
+			// The floor deliberately ignores channel rejection — it is the
+			// same pure distance/power cut maxDecodeRange solves for, which
+			// is what makes grid pruning sound AND keeps the draw sequence
+			// for every in-range radio identical to the pre-shard medium
+			// (a close radio on an adjacent channel still rolls its dice,
+			// exactly as before, however hopeless rejection makes them).
+			rx.RxBelowSNR++
+			m.SNRDrops++
+			continue
+		}
 		// Interference: strongest overlapping transmission audible at rx.
 		interf := m.cfg.NoiseFloorDBm
 		collided := false
@@ -512,13 +594,9 @@ func (m *Medium) complete(tx *transmission) {
 			m.Collisions++
 			continue
 		}
-		snr := rssi - m.cfg.NoiseFloorDBm
 		if !m.frameSurvives(snr, len(tx.data), rate) {
 			rx.RxBelowSNR++
 			m.SNRDrops++
-			continue
-		}
-		if rx.recv == nil {
 			continue
 		}
 		rx.RxFrames++
@@ -563,6 +641,22 @@ func (m *Medium) frameSurvives(snr float64, size int, rate Rate) bool {
 func (m *Medium) SNRAt(txPower float64, txPos, rxPos Position) float64 {
 	return txPower - m.pathLossDB(txPos, rxPos) - m.cfg.NoiseFloorDBm
 }
+
+// SNRAtDistance reports the deterministic (no-shadowing) SNR d metres from a
+// transmitter at txPower dBm under this config; zero-value fields take their
+// defaults. It needs no Medium — topology generators use it to validate a
+// layout's connectivity before any kernel exists.
+func (c Config) SNRAtDistance(txPower, d float64) float64 {
+	c.fill()
+	if d < 1 {
+		d = 1
+	}
+	return txPower - (c.ReferenceLossDB + 10*c.PathLossExponent*math.Log10(d)) - c.NoiseFloorDBm
+}
+
+// DefaultTxPowerDBm is the transmit power AddRadio assigns when RadioConfig
+// leaves it zero.
+const DefaultTxPowerDBm = defaultTxPowerDBm
 
 // Radios returns the attached radios (for inspection in tests and tools).
 func (m *Medium) Radios() []*Radio { return m.radios }

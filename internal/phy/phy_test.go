@@ -109,6 +109,9 @@ func TestAdjacentChannelLeakage(t *testing.T) {
 }
 
 func TestDistantRadioDrops(t *testing.T) {
+	// A 10 km radio sits far outside the decode range: the spatial grid
+	// prunes it before the loss model ever evaluates it, so it hears
+	// nothing and costs nothing.
 	k, m := newTestMedium(1)
 	a := m.AddRadio(RadioConfig{Name: "a", Pos: Position{0, 0}, Channel: 1})
 	b := m.AddRadio(RadioConfig{Name: "b", Pos: Position{10000, 0}, Channel: 1})
@@ -121,8 +124,109 @@ func TestDistantRadioDrops(t *testing.T) {
 	if heard != 0 {
 		t.Fatalf("10 km radio heard %d frames", heard)
 	}
-	if b.RxBelowSNR == 0 {
-		t.Fatal("no SNR drops recorded")
+}
+
+func TestDecodeFloorSkipsWithoutDraw(t *testing.T) {
+	// A radio inside the grid's candidate rectangle but below the decode
+	// floor (SNR more than 12 dB under the rate's requirement) is counted
+	// as an SNR drop without consuming an RNG draw: two mediums, one with
+	// and one without the marginal radio, must keep identical RNG streams.
+	run := func(withEdge bool) uint64 {
+		k, m := newTestMedium(9)
+		a := m.AddRadio(RadioConfig{Name: "a", Pos: Position{0, 0}, Channel: 1})
+		b := m.AddRadio(RadioConfig{Name: "b", Pos: Position{100, 0}, Channel: 1})
+		b.SetReceiver(func(data []byte, info RxInfo) {})
+		if withEdge {
+			// 500 m: beyond maxDecodeRange(15 dBm) ≈ 402 m but still inside
+			// the conservative cell rectangle (cell edge ≈ 402 m), so the
+			// grid hands it to the delivery loop and the floor — not the
+			// grid — must reject it, without an RNG draw.
+			e := m.AddRadio(RadioConfig{Name: "edge", Pos: Position{500, 0}, Channel: 1})
+			e.SetReceiver(func(data []byte, info RxInfo) {})
+		}
+		for i := 0; i < 100; i++ {
+			a.Send(make([]byte, 500), Rate11Mbps)
+		}
+		k.Run()
+		if withEdge {
+			edge := m.Radios()[2]
+			if edge.RxBelowSNR != 100 {
+				t.Fatalf("edge radio RxBelowSNR = %d, want 100", edge.RxBelowSNR)
+			}
+		}
+		return b.RxFrames
+	}
+	if with, without := run(true), run(false); with != without {
+		t.Fatalf("edge radio changed the in-range radio's loss pattern: %d vs %d deliveries", with, without)
+	}
+}
+
+func TestShardedMatchesUnshardedDigest(t *testing.T) {
+	// Differential check: with all radios inside decode range, the sharded
+	// medium must reproduce the unsharded scan's digest byte-identically —
+	// same candidates, same order, same draws. Run with and without
+	// shadowing (shadowing adds a per-candidate draw and disables pruning).
+	for _, sigma := range []float64{0, 3} {
+		digests := map[bool]uint64{}
+		for _, unsharded := range []bool{false, true} {
+			k := sim.NewKernel(7)
+			m := NewMedium(k, Config{ShadowingSigmaDB: sigma, DisableSharding: unsharded})
+			radios := make([]*Radio, 0, 30)
+			for i := 0; i < 30; i++ {
+				ch := Channel(1 + 5*(i%3)) // channels 1/6/11
+				r := m.AddRadio(RadioConfig{
+					Name:    "r",
+					Pos:     Position{float64(i%6) * 30, float64(i/6) * 30},
+					Channel: ch,
+				})
+				r.SetReceiver(func(data []byte, info RxInfo) {})
+				radios = append(radios, r)
+			}
+			for round := 0; round < 20; round++ {
+				src := radios[(round*7)%len(radios)]
+				src.Send(make([]byte, 200+round), Rate11Mbps)
+				k.RunFor(5 * sim.Millisecond)
+			}
+			k.Run()
+			digests[unsharded] = k.Digest()
+		}
+		if digests[false] != digests[true] {
+			t.Fatalf("sigma=%v: sharded digest %016x != unsharded %016x", sigma, digests[false], digests[true])
+		}
+	}
+}
+
+func TestShardMigration(t *testing.T) {
+	// Channel and position changes migrate radios between shards and grid
+	// cells: a retuned radio hears its new channel and not its old one.
+	k, m := newTestMedium(1)
+	a := m.AddRadio(RadioConfig{Name: "a", Pos: Position{0, 0}, Channel: 1})
+	b := m.AddRadio(RadioConfig{Name: "b", Pos: Position{5, 0}, Channel: 11})
+	heard := 0
+	b.SetReceiver(func(data []byte, info RxInfo) { heard++ })
+	a.Send([]byte("x"), Rate11Mbps)
+	k.Run()
+	if heard != 0 {
+		t.Fatal("channel-11 radio heard channel 1")
+	}
+	b.SetChannel(1)
+	a.Send([]byte("x"), Rate11Mbps)
+	k.Run()
+	if heard != 1 {
+		t.Fatalf("retuned radio heard %d frames, want 1", heard)
+	}
+	// Move b far out of range (crossing many grid cells), then back.
+	b.SetPosition(Position{5000, 5000})
+	a.Send([]byte("x"), Rate11Mbps)
+	k.Run()
+	if heard != 1 {
+		t.Fatal("out-of-range radio still hearing frames after move")
+	}
+	b.SetPosition(Position{5, 0})
+	a.Send([]byte("x"), Rate11Mbps)
+	k.Run()
+	if heard != 2 {
+		t.Fatalf("returned radio heard %d frames, want 2", heard)
 	}
 }
 

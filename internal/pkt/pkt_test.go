@@ -194,3 +194,54 @@ func mustPanic(t *testing.T, substr string, fn func()) {
 	}()
 	fn()
 }
+
+func TestBatchParksReleasesUntilEnd(t *testing.T) {
+	// Inside a delivery barrier, released buffers go to the arena: a Get
+	// cannot recycle them until the barrier closes, at which point they all
+	// rejoin the freelist together.
+	p := NewPool()
+	p.BeginBatch()
+	a := p.Get()
+	a.Release()
+	b := p.Get()
+	if a == b {
+		t.Fatal("buffer released inside a batch was recycled before EndBatch")
+	}
+	b.Release()
+	p.EndBatch()
+	c := p.Get()
+	d := p.Get()
+	if !((c == a && d == b) || (c == b && d == a)) {
+		t.Fatal("arena buffers did not rejoin the freelist after EndBatch")
+	}
+	c.Release()
+	d.Release()
+}
+
+func TestBatchNests(t *testing.T) {
+	p := NewPool()
+	p.BeginBatch()
+	p.BeginBatch()
+	a := p.Get()
+	a.Release()
+	p.EndBatch()
+	if b := p.Get(); a == b {
+		t.Fatal("inner EndBatch flushed the arena while the outer batch was open")
+	}
+	p.EndBatch()
+	mustPanic(t, "EndBatch", func() { p.EndBatch() })
+}
+
+func TestBatchPoisonsImmediately(t *testing.T) {
+	// Poison-on-release still happens at Release time inside a batch, so a
+	// stale write during the same fan-out is caught at the next poisoned Get.
+	p := NewPool()
+	p.SetPoison(true)
+	p.BeginBatch()
+	b := p.Get()
+	view := b.Extend(4)
+	b.Release()
+	view[0] = 0x42 // use-after-release write into the arena-parked buffer
+	p.EndBatch()
+	mustPanic(t, "use-after-release", func() { p.Get() })
+}

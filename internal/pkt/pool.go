@@ -37,6 +37,11 @@ type Pool struct {
 	free   []*Buf
 	poison bool
 	stats  PoolStats
+
+	// batchDepth > 0 parks released buffers in batch (the delivery-barrier
+	// arena) instead of the freelist; EndBatch flushes them together.
+	batchDepth int
+	batch      []*Buf
 }
 
 // NewPool returns an empty pool.
@@ -83,10 +88,37 @@ func (p *Pool) GetCopy(b []byte) *Buf {
 	return pb
 }
 
-// put returns a buffer to the freelist. Buffers whose backing array was
-// reallocated by headroom/tailroom growth no longer match the canonical size
-// and are dropped, keeping the pool's memory footprint bounded and every
-// pooled buffer interchangeable.
+// BeginBatch opens a delivery-barrier arena: buffers released while a batch
+// is open are poisoned (in debug mode) and parked immediately, but only
+// rejoin the freelist when the outermost EndBatch runs. Inside the barrier a
+// Get can therefore never recycle a buffer released during the same fan-out
+// — a receiver that wrongly drops its last reference to bytes another
+// receiver is still viewing cannot have them overwritten mid-delivery.
+// Nesting is allowed; only the outermost EndBatch flushes.
+func (p *Pool) BeginBatch() { p.batchDepth++ }
+
+// EndBatch closes the innermost batch, flushing the arena to the freelist
+// when the outermost one ends.
+func (p *Pool) EndBatch() {
+	if p.batchDepth == 0 {
+		panic("pkt: EndBatch without BeginBatch")
+	}
+	p.batchDepth--
+	if p.batchDepth > 0 || len(p.batch) == 0 {
+		return
+	}
+	p.free = append(p.free, p.batch...)
+	for i := range p.batch {
+		p.batch[i] = nil
+	}
+	p.batch = p.batch[:0]
+}
+
+// put returns a buffer to the freelist — or, inside a delivery barrier, to
+// the arena. Buffers whose backing array was reallocated by
+// headroom/tailroom growth no longer match the canonical size and are
+// dropped, keeping the pool's memory footprint bounded and every pooled
+// buffer interchangeable.
 func (p *Pool) put(b *Buf) {
 	p.stats.Puts++
 	if len(b.data) != defaultSize {
@@ -99,6 +131,10 @@ func (p *Pool) put(b *Buf) {
 	}
 	b.off = 0
 	b.end = 0
+	if p.batchDepth > 0 {
+		p.batch = append(p.batch, b)
+		return
+	}
 	p.free = append(p.free, b)
 }
 

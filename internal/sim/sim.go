@@ -145,6 +145,18 @@ func NewKernel(seed uint64) *Kernel {
 // this kernel draws frame buffers from here so they recycle across hops.
 func (k *Kernel) BufPool() *pkt.Pool { return k.bufPool }
 
+// BeginDelivery opens a delivery barrier: until the matching EndDelivery,
+// packet buffers released by any layer are parked in the pool's arena and
+// recycled together when the barrier closes. The phy wraps each
+// transmission's receiver fan-out in one, so a buffer view handed to many
+// receivers in the same completion event cannot be recycled — and its bytes
+// overwritten — while later receivers in the fan-out still read it.
+// Barriers nest; only the outermost EndDelivery flushes the arena.
+func (k *Kernel) BeginDelivery() { k.bufPool.BeginBatch() }
+
+// EndDelivery closes the innermost delivery barrier.
+func (k *Kernel) EndDelivery() { k.bufPool.EndBatch() }
+
 // Now reports the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 

@@ -470,3 +470,21 @@ func BenchmarkRNGUint64(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestDeliveryBarrierParksBufferReleases(t *testing.T) {
+	// The kernel's delivery barrier is the pool's batch mode: releases
+	// between BeginDelivery and EndDelivery are recycled together at the
+	// end, so a fan-out that releases a buffer mid-way cannot have its
+	// bytes recycled into a later receiver's Get in the same fan-out.
+	k := NewKernel(1)
+	k.BeginDelivery()
+	a := k.BufPool().Get()
+	a.Release()
+	if b := k.BufPool().Get(); b == a {
+		t.Fatal("buffer released inside a delivery barrier was recycled before EndDelivery")
+	}
+	k.EndDelivery()
+	if c := k.BufPool().Get(); c != a {
+		t.Fatal("barrier-parked buffer not reissued after EndDelivery")
+	}
+}

@@ -1,10 +1,13 @@
 #!/bin/sh
 # scripts/bench.sh — run the benchmark suite and emit a JSON summary:
 #
-#   - the root-package experiment benchmarks (E1–E14 and the chaos digest
-#     matrix), once each (-benchtime 1x: they are whole experiments);
+#   - the root-package experiment benchmarks (E1–E15, the campus-world
+#     throughput bench, and the chaos digest matrix), once each
+#     (-benchtime 1x: they are whole experiments);
 #   - the sim kernel throughput benchmarks (events/sec at several standing
 #     queue depths, the reference-heap comparison, and the soak bench);
+#   - the sharded-medium broadcast benchmarks (per-transmission delivery
+#     cost at 64/1k/4k radios, plus the unsharded 1k comparison floor);
 #   - the per-layer marshal micro-benches (WEP seal, TCP segment, IPv4
 #     header push, 802.11 header).
 #
@@ -15,11 +18,11 @@
 #
 #   scripts/bench.sh [out.json [baseline]]
 #
-# out.json defaults to BENCH_PR7.json. baseline, when given, is either a
+# out.json defaults to BENCH_PR9.json. baseline, when given, is either a
 # saved `go test -bench` text output or a JSON file previously emitted by
-# this script (e.g. BENCH_PR6.json); its numbers are embedded per benchmark
+# this script (e.g. BENCH_PR7.json); its numbers are embedded per benchmark
 # as baseline_* fields for before/after comparison across a change. When no
-# baseline is named, BENCH_PR6.json is used if present.
+# baseline is named, BENCH_PR7.json is used if present.
 #
 # BENCH_NOTES, if set in the environment, is embedded verbatim as a "notes"
 # string — use it to record why a number was re-baselined.
@@ -27,10 +30,10 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR7.json}
+OUT=${1:-BENCH_PR9.json}
 BASELINE=${2:-}
-if [ -z "$BASELINE" ] && [ -f BENCH_PR6.json ] && [ "$OUT" != "BENCH_PR6.json" ]; then
-	BASELINE=BENCH_PR6.json
+if [ -z "$BASELINE" ] && [ -f BENCH_PR7.json ] && [ "$OUT" != "BENCH_PR7.json" ]; then
+	BASELINE=BENCH_PR7.json
 fi
 MICROTIME=${MICROTIME:-1s}
 TMP=$(mktemp)
@@ -39,6 +42,8 @@ trap 'rm -f "$TMP"' EXIT
 go test -run '^$' -bench . -benchmem -benchtime 1x . | tee "$TMP"
 go test -run '^$' -bench 'KernelEventsPerSec|RefHeapEventsPerSec|KernelSoak' \
 	-benchmem -benchtime "$MICROTIME" ./internal/sim/ | tee -a "$TMP"
+go test -run '^$' -bench 'MediumBroadcast/|MediumBroadcastUnsharded' \
+	-benchmem -benchtime "$MICROTIME" ./internal/phy/ | tee -a "$TMP"
 go test -run '^$' -bench 'WEPSeal$|TCPMarshal$|IPv4Push$|Dot11Data$' \
 	-benchmem -benchtime "$MICROTIME" \
 	./internal/wep/ ./internal/tcp/ ./internal/ipv4/ ./internal/dot11/ | tee -a "$TMP"

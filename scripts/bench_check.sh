@@ -1,15 +1,18 @@
 #!/bin/sh
 # scripts/bench_check.sh — benchmark regression gate. Re-runs the benchmark
 # suite via scripts/bench.sh and compares every gated benchmark against a
-# committed reference JSON (default BENCH_PR7.json): the gate fails if ns/op
+# committed reference JSON (default BENCH_PR9.json): the gate fails if ns/op
 # or allocs/op regressed by more than TOL percent (default 25).
 #
-# Gated: the E1–E14 experiment benchmarks, the sim kernel throughput
-# benchmarks (KernelEventsPerSec at every depth, KernelSoak), and the
-# per-layer marshal micro-benches (WEPSeal, TCPMarshal, IPv4Push,
-# Dot11Data). RefHeapEventsPerSec is reported but not gated — it is the
-# retired scheduler, kept as the comparison floor. The chaos digest matrix
-# benchmark is likewise reported only (pure wall-time, no E-table).
+# Gated: the E1–E15 experiment benchmarks, the campus-world throughput
+# bench, the sim kernel throughput benchmarks (KernelEventsPerSec at every
+# depth, KernelSoak), the sharded-medium broadcast benches (MediumBroadcast
+# at 64/1k/4k radios), and the per-layer marshal micro-benches (WEPSeal,
+# TCPMarshal, IPv4Push, Dot11Data). RefHeapEventsPerSec and
+# MediumBroadcastUnsharded are reported but not gated — they are the retired
+# scheduler and the pre-shard delivery scan, kept as comparison floors. The
+# chaos digest matrix benchmark is likewise reported only (pure wall-time,
+# no E-table).
 #
 #   scripts/bench_check.sh [reference.json]
 #
@@ -19,7 +22,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-REF=${1:-BENCH_PR7.json}
+REF=${1:-BENCH_PR9.json}
 TOL=${TOL:-25}
 if [ ! -f "$REF" ]; then
 	echo "bench_check: missing reference $REF" >&2
@@ -50,6 +53,7 @@ function parse(line) {
 }
 function gated(name) {
 	return name ~ /^E[0-9]/ || name ~ /^KernelEventsPerSec/ || \
+		name ~ /^MediumBroadcast\// || name == "CampusWorld" || \
 		name == "KernelSoak" || name == "WEPSeal" || \
 		name == "TCPMarshal" || name == "IPv4Push" || name == "Dot11Data"
 }
