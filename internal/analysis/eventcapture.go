@@ -58,10 +58,12 @@ func runEventcapture(pass *analysis.Pass) (any, error) {
 	return rep.Finish(), nil
 }
 
-// isKernelSchedule reports whether call invokes one of the four scheduling
-// entry points (At, After, Schedule, ScheduleAfter) on a value of a named
-// type called Kernel. The pooled handle-less variants are covered too: a
-// stale closure is just as stale when its Event struct is recycled.
+// isKernelSchedule reports whether call invokes one of the scheduling entry
+// points (At, After, Schedule, ScheduleAfter, SchedulePrep) on a value of a
+// named type called Kernel. The pooled handle-less variants are covered too:
+// a stale closure is just as stale when its Event struct is recycled.
+// (ScheduleBatch closures sit inside composite literals rather than call
+// arguments and are not yet covered.)
 func isKernelSchedule(pass *analysis.Pass, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
@@ -72,7 +74,7 @@ func isKernelSchedule(pass *analysis.Pass, call *ast.CallExpr) bool {
 		return false
 	}
 	switch fn.Name() {
-	case "At", "After", "Schedule", "ScheduleAfter":
+	case "At", "After", "Schedule", "ScheduleAfter", "SchedulePrep":
 	default:
 		return false
 	}

@@ -8,10 +8,13 @@ import (
 // TestOverlayScenarioDigestStability is the mesh robustness acceptance
 // gate: the overlay scenarios — including chaos-relay's full failover,
 // rekey, and route re-convergence — must produce byte-identical trace
-// digests across two replays, under every determinism seed, at GOMAXPROCS
-// 1 (Sweep's sequential fallback) and 4 (parallel workers). A divergence
-// here means the mesh machinery leaked nondeterminism (map order on the
-// wire, shared state across worlds, unseeded jitter) into the trace.
+// digests under every determinism seed, at GOMAXPROCS 1 (Sweep's
+// sequential fallback) and 4 (parallel workers), with the kernel both
+// serial (workers=0) and conservative-window parallel (workers=4,
+// DESIGN.md §14). A divergence here means the mesh machinery leaked
+// nondeterminism (map order on the wire, shared state across worlds,
+// unseeded jitter) into the trace — or the windowed kernel reordered a
+// commit.
 func TestOverlayScenarioDigestStability(t *testing.T) {
 	type point struct {
 		scenario string
@@ -23,22 +26,24 @@ func TestOverlayScenarioDigestStability(t *testing.T) {
 			pts = append(pts, point{scenario, seed})
 		}
 	}
-	run := func(p point) uint64 {
-		o, err := RunScenario(p.scenario, p.seed, true)
-		if err != nil {
-			t.Errorf("%s seed %d: %v", p.scenario, p.seed, err)
-			return 0
+	runWith := func(workers int) func(point) uint64 {
+		return func(p point) uint64 {
+			o, err := RunScenarioOpts(p.scenario, p.seed, ScenarioOpts{Checks: true, Workers: workers})
+			if err != nil {
+				t.Errorf("%s seed %d: %v", p.scenario, p.seed, err)
+				return 0
+			}
+			if !o.Download.Clean() {
+				t.Errorf("%s seed %d: download not clean", p.scenario, p.seed)
+			}
+			return o.Digest
 		}
-		if !o.Download.Clean() {
-			t.Errorf("%s seed %d: download not clean", p.scenario, p.seed)
-		}
-		return o.Digest
 	}
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
 	var runs [][]uint64
 	for _, procs := range []int{1, 4} {
 		runtime.GOMAXPROCS(procs)
-		runs = append(runs, Sweep(pts, run), Sweep(pts, run))
+		runs = append(runs, Sweep(pts, runWith(0)), Sweep(pts, runWith(4)))
 	}
 	for i, p := range pts {
 		for r := 1; r < len(runs); r++ {

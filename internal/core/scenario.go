@@ -131,29 +131,49 @@ func rogueGeometry(cfg *Config) {
 	cfg.RoguePos = phy.Position{X: 42, Y: 0}
 }
 
+// ScenarioOpts bundles the optional knobs shared by every scenario runner.
+type ScenarioOpts struct {
+	// Checks enables kernel invariant checking (violations panic).
+	Checks bool
+	// Faults, when non-empty, is a fault schedule (builtin name or raw
+	// string) overriding whatever the scenario configures itself.
+	Faults string
+	// Workers selects the kernel execution mode: 0 (the default) is the
+	// classic serial loop, n >= 1 the conservative-window parallel loop.
+	// Digests are byte-identical either way.
+	Workers int
+}
+
 // RunScenario executes a named scenario to completion. checks enables
 // kernel invariant checking for the run (violations panic).
 func RunScenario(name string, seed uint64, checks bool) (*ScenarioOutcome, error) {
-	return RunScenarioFaults(name, seed, checks, "")
+	return RunScenarioOpts(name, seed, ScenarioOpts{Checks: checks})
 }
 
 // RunScenarioFaults runs a named scenario with a fault schedule (builtin
 // name or raw string) overriding whatever the scenario configures itself.
-// An empty schedule keeps the scenario's own. This is what roguesim -faults
-// and the chaos sweeps drive.
+// An empty schedule keeps the scenario's own. This is what the chaos
+// sweeps drive.
 func RunScenarioFaults(name string, seed uint64, checks bool, schedule string) (*ScenarioOutcome, error) {
+	return RunScenarioOpts(name, seed, ScenarioOpts{Checks: checks, Faults: schedule})
+}
+
+// RunScenarioOpts is the full-knob scenario runner behind RunScenario and
+// RunScenarioFaults; cmd/roguesim calls it directly.
+func RunScenarioOpts(name string, seed uint64, opts ScenarioOpts) (*ScenarioOutcome, error) {
 	if name == "campus" || name == "campus-rogue" {
 		// Campus scenarios build a generated world, not the single-victim
 		// Config world, so they dispatch before ScenarioConfig.
-		return runCampusScenario(name, seed, checks, schedule), nil
+		return runCampusScenario(name, seed, opts), nil
 	}
 	cfg, err := ScenarioConfig(name, seed)
 	if err != nil {
 		return nil, err
 	}
-	cfg.Checks = checks
-	if schedule != "" {
-		cfg.Faults = schedule
+	cfg.Checks = opts.Checks
+	cfg.Workers = opts.Workers
+	if opts.Faults != "" {
+		cfg.Faults = opts.Faults
 	}
 	if name == "detect" {
 		return runDetectScenario(name, cfg), nil

@@ -14,12 +14,38 @@ import (
 // captures (its reach is one interference neighborhood, however big the
 // campus — the capture rate should FALL as the world grows), how much
 // station traffic the rogue harvests, and the medium's delivered-frame
-// throughput in simulated time. The 4096-station row only runs at full
-// scale; Quick stops at 1024.
+// throughput in simulated time. The 4096- and 16384-station rows only run
+// at full scale; Quick stops at 1024.
 
 // e15SimTime is the simulated window per world: staggered joins, the scan
 // ladder, and several traffic intervals.
 const e15SimTime = 10 * sim.Second
+
+// e15Size is one rung of the scale ladder.
+type e15Size struct{ aps, stas int }
+
+// e15Sizes is the ladder: each full-scale rung quadruples the station count
+// (and AP count with it, keeping cluster size fixed), so the table shows the
+// per-neighborhood cost claim across two orders of magnitude.
+func e15Sizes(quick bool) []e15Size {
+	sizes := []e15Size{{16, 256}, {64, 1024}}
+	if !quick {
+		sizes = append(sizes, e15Size{256, 4096}, e15Size{1024, 16384})
+	}
+	return sizes
+}
+
+// e15Workers picks the kernel mode per rung: the 16384-station world runs on
+// the conservative-window kernel (4 prepare lanes) because it dominates the
+// sweep's tail when worlds outnumber cores only barely. Digests — and hence
+// the table — are byte-identical either way (DESIGN.md §14); this is purely
+// a wall-clock choice.
+func e15Workers(stas int) int {
+	if stas >= 16384 {
+		return 4
+	}
+	return 0
+}
 
 // E15CampusScale: association, rogue capture, and medium throughput at
 // campus scale.
@@ -34,13 +60,9 @@ func E15CampusScale(s Scale) Table {
 			"frames/s = medium deliveries per simulated second (sharded: cost per frame tracks the neighborhood, not the campus)",
 		},
 	}
-	type size struct{ aps, stas int }
-	sizes := []size{{16, 256}, {64, 1024}}
-	if !s.Quick {
-		sizes = append(sizes, size{256, 4096})
-	}
+	sizes := e15Sizes(s.Quick)
 	type point struct {
-		size
+		e15Size
 		seed uint64
 	}
 	var points []point
@@ -51,8 +73,9 @@ func E15CampusScale(s Scale) Table {
 	}
 	results := core.Sweep(points, func(p point) core.CampusResult {
 		w := core.NewCampusWorld(core.CampusConfig{
-			Seed:  p.seed,
-			Rogue: true,
+			Seed:    p.seed,
+			Rogue:   true,
+			Workers: e15Workers(p.stas),
 			Topology: core.TopologyConfig{
 				Kind: core.TopoCampus, Seed: p.seed,
 				APs: p.aps, STAs: p.stas,

@@ -4,6 +4,9 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
 )
 
 // tiny is the smallest meaningful scale for CI-speed smoke tests.
@@ -345,5 +348,55 @@ func TestE15Shape(t *testing.T) {
 		if got := mustCell(t, tbl, i, 5); got == "0" {
 			t.Fatalf("row %d (%s stations): no medium throughput", i, row[0])
 		}
+	}
+}
+
+// TestE15ScaleLadder pins the ladder's structure — Quick stops at 1024
+// stations, full scale climbs two more quadrupling rungs to 16384, the
+// biggest rung runs on the conservative-window kernel — and smokes the
+// 16384-station world itself: the table's top row must come from a world
+// that actually constructs and moves at that size, so the smoke builds it
+// and runs the join/scan opening (a short slice of e15SimTime; the full
+// window is the experiment's job, not the test's).
+func TestE15ScaleLadder(t *testing.T) {
+	quick := e15Sizes(true)
+	full := e15Sizes(false)
+	if len(quick) != 2 || quick[len(quick)-1].stas != 1024 {
+		t.Fatalf("quick ladder: %v", quick)
+	}
+	if len(full) != 4 || full[len(full)-1] != (e15Size{1024, 16384}) {
+		t.Fatalf("full ladder: %v", full)
+	}
+	for i := 1; i < len(full); i++ {
+		if full[i].stas != 4*full[i-1].stas {
+			t.Fatalf("ladder rung %d does not quadruple: %v", i, full)
+		}
+	}
+	if e15Workers(full[len(full)-1].stas) == 0 || e15Workers(1024) != 0 {
+		t.Fatal("only the 16384-station rung should use the windowed kernel")
+	}
+	if testing.Short() {
+		t.Skip("16384-station smoke")
+	}
+	top := full[len(full)-1]
+	w := core.NewCampusWorld(core.CampusConfig{
+		Seed:    1,
+		Rogue:   true,
+		Workers: e15Workers(top.stas),
+		Topology: core.TopologyConfig{
+			Kind: core.TopoCampus, Seed: 1,
+			APs: top.aps, STAs: top.stas,
+		},
+	})
+	if got := len(w.STAs); got != top.stas {
+		t.Fatalf("topology clamped the top rung: %d stations, want %d", got, top.stas)
+	}
+	// 100 ms covers every AP's first beacon and the earliest joiners' probe
+	// scans — enough to prove the world is live without paying for the full
+	// association ladder (no station associates this early at any scale).
+	w.Run(100 * sim.Millisecond)
+	if w.Medium.Transmissions == 0 || w.Medium.Deliveries == 0 {
+		t.Fatalf("16384-station world is inert after the opening: tx=%d deliveries=%d",
+			w.Medium.Transmissions, w.Medium.Deliveries)
 	}
 }

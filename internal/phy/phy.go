@@ -165,8 +165,16 @@ type Medium struct {
 	// shadowing is on (reception at any distance is then a draw the loss
 	// model must keep making) and under DisableSharding.
 	spatial bool
-	// cand is the delivery loop's candidate scratch buffer.
+	// cand is the delivery loop's candidate scratch buffer. Prepare hooks
+	// never touch it — each transmission's txPrep owns its own buffer.
 	cand []*Radio
+
+	// posGen/chanGen are staleness stamps for speculative delivery prepares
+	// (prepare.go): any SetPosition bumps posGen; attaching or retuning a
+	// radio bumps the affected channels' chanGen. A prepared result commits
+	// only if every stamp its computation could have read is unchanged.
+	posGen  uint64
+	chanGen [MaxChannel + 1]uint64
 
 	// burst, when non-nil, is the active Gilbert–Elliott fault state
 	// (internal/faults installs it). burstBad is the current chain state.
@@ -185,6 +193,11 @@ type Medium struct {
 	SNRDrops      uint64
 	Collisions    uint64
 	BurstDrops    uint64
+	// PrepCommits/PrepStale count completions that consumed a prepared
+	// delivery vs. recomputed serially (stale stamps, or a serial kernel
+	// where the hook never ran). Diagnostics only — not part of any digest.
+	PrepCommits uint64
+	PrepStale   uint64
 }
 
 type transmission struct {
@@ -206,8 +219,13 @@ type transmission struct {
 	pins int
 	done bool
 	// completeFn is the completion closure, bound once per struct so
-	// recycled transmissions do not re-allocate it.
+	// recycled transmissions do not re-allocate it; prepareFn is the
+	// speculative prepare hook handed to sim.SchedulePrep the same way.
 	completeFn func()
+	prepareFn  func()
+	// prep holds the speculatively precomputed delivery (prepare.go), valid
+	// only when prep.prepared and the generation stamps still match.
+	prep txPrep
 }
 
 // NewMedium creates an empty medium on the kernel.
@@ -216,6 +234,10 @@ func NewMedium(k *sim.Kernel, cfg Config) *Medium {
 	m := &Medium{kernel: k, cfg: cfg, rng: k.RNG().Fork()}
 	m.cellSize = m.maxDecodeRange(defaultTxPowerDBm)
 	m.spatial = cfg.ShadowingSigmaDB == 0 && !cfg.DisableSharding
+	// The medium is the kernel's only source of preparable events, and every
+	// completion it schedules is at least one PLCP preamble away — the
+	// minimum airtime is the conservative lookahead (DESIGN.md §14).
+	k.SetLookahead(plcpOverhead)
 	return m
 }
 
@@ -322,6 +344,9 @@ type Radio struct {
 	// idx is the radio's global attach order; deliveries fan out in
 	// ascending idx, which is the determinism contract's total order.
 	idx int
+	// digestLabel caches "phy/rx:"+name so the per-delivery digest mix does
+	// not concatenate (and allocate) the label per frame.
+	digestLabel string
 	// shardIdx/cell/cellIdx locate the radio inside its channel shard and
 	// grid cell for O(1) migration (see shard.go).
 	shardIdx int
@@ -353,9 +378,11 @@ func (m *Medium) AddRadio(cfg RadioConfig) *Radio {
 		panic(fmt.Sprintf("phy: invalid channel %d", cfg.Channel))
 	}
 	r := &Radio{medium: m, name: cfg.Name, pos: cfg.Pos, channel: cfg.Channel, txPower: cfg.TxPowerDBm}
+	r.digestLabel = "phy/rx:" + cfg.Name
 	r.idx = len(m.radios)
 	m.radios = append(m.radios, r)
 	m.shard(r.channel).insert(r, m.cellOf(r.pos))
+	m.chanGen[r.channel]++
 	return r
 }
 
@@ -369,6 +396,7 @@ func (r *Radio) Position() Position { return r.pos }
 // cells when it crosses a cell boundary.
 func (r *Radio) SetPosition(p Position) {
 	r.pos = p
+	r.medium.posGen++
 	s := r.medium.shard(r.channel)
 	if key := r.medium.cellOf(p); key != r.cell {
 		s.removeFromCell(r)
@@ -391,6 +419,8 @@ func (r *Radio) SetChannel(c Channel) {
 	if c == r.channel {
 		return
 	}
+	r.medium.chanGen[r.channel]++
+	r.medium.chanGen[c]++
 	r.medium.shard(r.channel).remove(r)
 	r.channel = c
 	r.medium.shard(c).insert(r, r.cell)
@@ -479,21 +509,30 @@ func (r *Radio) SendBuf(pb *pkt.Buf, rate Rate) sim.Time {
 	}
 	s := m.shard(r.channel)
 	s.active = append(s.active, tx)
-	m.kernel.Schedule(end, tx.completeFn)
+	if m.spatial {
+		// The completion is preparable: under a windowed kernel its
+		// candidate gather and SNR/interference math run ahead of time on a
+		// prepare lane (prepare.go). On a serial kernel the hook is ignored.
+		m.kernel.SchedulePrep(end, tx.completeFn, tx.prepareFn)
+	} else {
+		m.kernel.Schedule(end, tx.completeFn)
+	}
 	return end
 }
 
 // getTx pops a recycled transmission or allocates a fresh one, binding its
-// completion closure exactly once.
+// completion and prepare closures exactly once.
 func (m *Medium) getTx() *transmission {
 	if n := len(m.freeTx); n > 0 {
 		tx := m.freeTx[n-1]
 		m.freeTx = m.freeTx[:n-1]
 		tx.pins, tx.done = 0, false
+		tx.prep.prepared = false
 		return tx
 	}
 	tx := &transmission{}
 	tx.completeFn = func() { m.complete(tx) }
+	tx.prepareFn = func() { m.prepare(tx) }
 	return tx
 }
 
@@ -538,30 +577,53 @@ func (m *Medium) complete(tx *transmission) {
 	}
 
 	// Candidate order is the global attach order in every mode — the RNG
-	// draw sequence per candidate is what the digest contract pins.
+	// draw sequence per candidate is what the digest contract pins. A valid
+	// speculative prepare supplies the candidate list and the per-candidate
+	// deterministic math (same pure functions, same inputs — bit-identical);
+	// everything involving RNG, counters, the digest, or receiver callbacks
+	// happens here, serially, in either case.
 	var cand []*Radio
-	if m.cfg.DisableSharding {
+	var prx []prepRx
+	switch {
+	case m.cfg.DisableSharding:
 		cand = m.radios
-	} else {
+	case m.prepValid(tx):
+		cand = tx.prep.cand
+		prx = tx.prep.rx
+		m.PrepCommits++
+	default:
 		cand = m.gatherCandidates(tx)
+		m.PrepStale++
 	}
-	for _, rx := range cand {
+	for i, rx := range cand {
 		// No-receiver radios (the fault jammer is the only kind) are skipped
 		// before any loss draw: there is nothing to deliver to, so burning
 		// RNG state on them would couple every receiver's loss pattern to
-		// the presence of deaf hardware.
+		// the presence of deaf hardware. down/recv are live state, checked
+		// at commit time even on the prepared path.
 		if rx == tx.src || rx.down || rx.recv == nil {
 			continue
 		}
-		rej := channelRejectionDB(tx.channel, rx.channel)
-		if math.IsInf(rej, 1) {
-			// Only reachable via the DisableSharding scan; the shard
-			// neighborhood never yields an orthogonal-channel radio.
-			continue
-		}
-		rssi := m.rxPowerDBm(tx.powerDBm, tx.src.pos, rx.pos) - rej
-		snr := rssi - m.cfg.NoiseFloorDBm
-		if m.spatial && snr+rej < decodeFloorSNRDB {
+		var rssi, snr float64
+		var floor, collided bool
+		if prx != nil {
+			r := &prx[i]
+			rssi, snr, floor, collided = r.rssi, r.snr, r.floor, r.collided
+			if !floor && !collided {
+				// Overlaps registered after the prepare ran (the list is
+				// append-only until retire) fold in serially; collided is an
+				// order-insensitive OR, so prefix-then-suffix is exact.
+				collided = m.overlapCollides(overlaps[tx.prep.overlapsN:], rx, rssi)
+			}
+		} else {
+			rej := channelRejectionDB(tx.channel, rx.channel)
+			if math.IsInf(rej, 1) {
+				// Only reachable via the DisableSharding scan; the shard
+				// neighborhood never yields an orthogonal-channel radio.
+				continue
+			}
+			rssi = m.rxPowerDBm(tx.powerDBm, tx.src.pos, rx.pos) - rej
+			snr = rssi - m.cfg.NoiseFloorDBm
 			// Below the decode floor: deterministically lost, no RNG draw.
 			// The floor deliberately ignores channel rejection — it is the
 			// same pure distance/power cut maxDecodeRange solves for, which
@@ -569,25 +631,15 @@ func (m *Medium) complete(tx *transmission) {
 			// for every in-range radio identical to the pre-shard medium
 			// (a close radio on an adjacent channel still rolls its dice,
 			// exactly as before, however hopeless rejection makes them).
+			floor = m.spatial && snr+rej < decodeFloorSNRDB
+			if !floor {
+				collided = m.overlapCollides(overlaps, rx, rssi)
+			}
+		}
+		if floor {
 			rx.RxBelowSNR++
 			m.SNRDrops++
 			continue
-		}
-		// Interference: strongest overlapping transmission audible at rx.
-		interf := m.cfg.NoiseFloorDBm
-		collided := false
-		for _, o := range overlaps {
-			orej := channelRejectionDB(o.channel, rx.channel)
-			if math.IsInf(orej, 1) {
-				continue
-			}
-			op := o.powerDBm - m.pathLossDB(o.src.pos, rx.pos) - orej
-			if op > interf {
-				interf = op
-			}
-			if rssi-op < m.cfg.CaptureThresholdDB {
-				collided = true
-			}
 		}
 		if collided {
 			rx.RxCollisions++
@@ -601,13 +653,32 @@ func (m *Medium) complete(tx *transmission) {
 		}
 		rx.RxFrames++
 		m.Deliveries++
-		m.kernel.MixDigest("phy/rx:"+rx.name, tx.data)
+		m.kernel.MixDigest(rx.digestLabel, tx.data)
 		info := RxInfo{
 			Channel: tx.channel, RSSIDBm: rssi, SNRDB: snr,
 			Rate: rate, At: now, Airtime: air, Src: tx.src,
 		}
 		rx.recv(tx.data, info)
 	}
+}
+
+// overlapCollides reports whether any transmission in overlaps is loud enough
+// at rx to defeat capture of a frame received at rssi. No RNG, no counters —
+// the same pure predicate serves the serial path, the prepare hook (prefix),
+// and the commit-time fold (suffix). The early return is sound for the same
+// reason the prefix/suffix split is: only the OR is observable.
+func (m *Medium) overlapCollides(overlaps []*transmission, rx *Radio, rssi float64) bool {
+	for _, o := range overlaps {
+		orej := channelRejectionDB(o.channel, rx.channel)
+		if math.IsInf(orej, 1) {
+			continue
+		}
+		op := o.powerDBm - m.pathLossDB(o.src.pos, rx.pos) - orej
+		if rssi-op < m.cfg.CaptureThresholdDB {
+			return true
+		}
+	}
+	return false
 }
 
 // retire marks tx finished and recycles every transmission that is no longer

@@ -1,0 +1,119 @@
+package phy
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestPreparedDeliveryMatchesSerial is the phy-level differential for the
+// conservative-window kernel: the same traffic — overlapping sends from many
+// radios, plus mid-run retunes and moves that invalidate in-flight prepares —
+// must produce byte-identical digests and identical counters whether
+// completions commit prepared (workers > 0) or recompute serially.
+func TestPreparedDeliveryMatchesSerial(t *testing.T) {
+	type outcome struct {
+		digest                                    uint64
+		deliveries, snrDrops, collisions, txCount uint64
+	}
+	run := func(workers int) (outcome, *Medium) {
+		k := sim.NewKernel(7)
+		k.SetWorkers(workers)
+		m := NewMedium(k, Config{})
+		var radios []*Radio
+		for i := 0; i < 36; i++ {
+			r := m.AddRadio(RadioConfig{
+				Name:    "r",
+				Pos:     Position{float64(i%6) * 25, float64(i/6) * 25},
+				Channel: Channel(1 + (i%3)*5), // 1/6/11
+			})
+			r.SetReceiver(func(data []byte, info RxInfo) {})
+			radios = append(radios, r)
+		}
+		// Bursts of overlapping sends: several radios transmit in the same
+		// microsecond, so completions carry non-empty overlap lists and new
+		// overlaps keep arriving after prepares run.
+		for round := 0; round < 40; round++ {
+			round := round
+			k.Schedule(sim.Time(round)*300*sim.Microsecond, func() {
+				for j := 0; j < 3; j++ {
+					src := radios[(round*5+j*7)%len(radios)]
+					src.Send(make([]byte, 150+round), Rate11Mbps)
+				}
+			})
+		}
+		// Mid-run state changes that must invalidate prepared deliveries:
+		// a retune into a busy channel, a move across grid cells, and a
+		// radio flapping down (rechecked live, no stamp needed).
+		k.Schedule(2*sim.Millisecond, func() { radios[4].SetChannel(6) })
+		k.Schedule(5*sim.Millisecond, func() { radios[9].SetPosition(Position{10, 10}) })
+		k.Schedule(7*sim.Millisecond, func() { radios[14].SetDown(true) })
+		k.Schedule(9*sim.Millisecond, func() { radios[14].SetDown(false) })
+		k.Run()
+		return outcome{
+			digest:     k.Digest(),
+			deliveries: m.Deliveries, snrDrops: m.SNRDrops,
+			collisions: m.Collisions, txCount: m.Transmissions,
+		}, m
+	}
+	serial, sm := run(0)
+	if serial.deliveries == 0 || serial.collisions == 0 {
+		t.Fatalf("weak scenario: %d deliveries, %d collisions — wants both nonzero", serial.deliveries, serial.collisions)
+	}
+	if sm.PrepCommits != 0 {
+		t.Fatalf("serial kernel committed %d prepared deliveries; the hook should never run", sm.PrepCommits)
+	}
+	for _, workers := range []int{1, 4} {
+		got, m := run(workers)
+		if got != serial {
+			t.Errorf("workers=%d diverged: %+v vs serial %+v", workers, got, serial)
+		}
+		if m.PrepCommits == 0 {
+			t.Errorf("workers=%d: no completion ever consumed a prepared delivery", workers)
+		}
+		if m.PrepStale == 0 {
+			t.Errorf("workers=%d: no prepare was ever invalidated — the retune/move path is untested", workers)
+		}
+	}
+}
+
+// TestPrepStaleness pins the generation stamps one mutation at a time: each
+// state change between a transmission's send and its completion must force
+// the serial recompute path for that completion.
+func TestPrepStaleness(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(m *Medium, bystander *Radio)
+	}{
+		{"retune-in-neighborhood", func(m *Medium, by *Radio) { by.SetChannel(2) }},
+		{"retune-from-neighborhood", func(m *Medium, by *Radio) { by.SetChannel(11) }},
+		{"move", func(m *Medium, by *Radio) { by.SetPosition(Position{3, 3}) }},
+		{"attach", func(m *Medium, by *Radio) {
+			r := m.AddRadio(RadioConfig{Name: "new", Pos: Position{1, 1}, Channel: 1})
+			r.SetReceiver(func(data []byte, info RxInfo) {})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			k := sim.NewKernel(1)
+			k.SetWorkers(1)
+			m := NewMedium(k, Config{})
+			src := m.AddRadio(RadioConfig{Name: "src", Pos: Position{0, 0}, Channel: 1})
+			dst := m.AddRadio(RadioConfig{Name: "dst", Pos: Position{8, 0}, Channel: 1})
+			dst.SetReceiver(func(data []byte, info RxInfo) {})
+			bystander := m.AddRadio(RadioConfig{Name: "by", Pos: Position{0, 8}, Channel: 1})
+			bystander.SetReceiver(func(data []byte, info RxInfo) {})
+			// The mutation lands mid-air: after the send (and after the next
+			// window's prepare collection could have run), before completion.
+			k.Schedule(0, func() {
+				end := src.Send(make([]byte, 400), Rate1Mbps)
+				k.Schedule(end-10*sim.Microsecond, func() { tc.mutate(m, bystander) })
+			})
+			k.Run()
+			if m.PrepStale == 0 {
+				t.Fatalf("mutation did not invalidate the prepared delivery (commits=%d stale=%d)",
+					m.PrepCommits, m.PrepStale)
+			}
+		})
+	}
+}

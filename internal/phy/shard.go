@@ -135,10 +135,17 @@ func (s *mediumShard) removeFromCell(r *Radio) {
 }
 
 // gatherCandidates collects every radio that could decode (or, with
-// shadowing, would draw for) tx, in ascending global attach order — the
-// exact iteration order of the pre-shard medium.
+// shadowing, would draw for) tx into the delivery loop's scratch buffer.
 func (m *Medium) gatherCandidates(tx *transmission) []*Radio {
-	cand := m.cand[:0]
+	m.cand = m.gatherInto(m.cand[:0], tx)
+	return m.cand
+}
+
+// gatherInto appends tx's candidates to cand, in ascending global attach
+// order — the exact iteration order of the pre-shard medium. It only reads
+// the shard index, so prepare hooks may call it concurrently as long as each
+// passes its own destination buffer.
+func (m *Medium) gatherInto(cand []*Radio, tx *transmission) []*Radio {
 	lo, hi := channelNeighborhood(tx.channel)
 	if !m.spatial {
 		// Shadowing mode: reception at any distance is a draw, so every
@@ -174,7 +181,6 @@ func (m *Medium) gatherCandidates(tx *transmission) []*Radio {
 		}
 	}
 	sort.Slice(cand, func(i, j int) bool { return cand[i].idx < cand[j].idx })
-	m.cand = cand
 	return cand
 }
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
 	"testing"
 )
 
@@ -10,10 +11,13 @@ import (
 // binary-heap scheduler it replaced: the reference below is the original
 // container/heap event queue, kept verbatim in test code, and both schedulers
 // are driven through identical op scripts — At/After/Schedule/ScheduleAfter,
-// cancel-while-queued, cancel-then-reschedule, same-tick ties, run bursts —
-// with events that spawn more events as they fire. Identical fire order,
-// fire times, and final clocks are required. FuzzSchedulerOps feeds the same
-// driver with arbitrary scripts.
+// ScheduleBatch bulk inserts, cancel-while-queued, cancel-then-reschedule,
+// same-tick ties, run bursts — with events that spawn more events as they
+// fire. Identical fire order, fire times, and final clocks are required.
+// Each script runs three ways: the reference heap, the serial wheel, and the
+// conservative-window wheel (lanes.go) at 2 workers with prepare hooks on
+// every pooled event. FuzzSchedulerOps feeds the same driver with arbitrary
+// scripts.
 
 // refEvent/refQueue/refSched are the pre-wheel scheduler, verbatim: a
 // container/heap min-heap ordered by (when, seq) with lazy cancellation.
@@ -125,25 +129,47 @@ type scheduler interface {
 	Now() Time
 	At(t Time, fn func()) canceller
 	Schedule(t Time, fn func())
+	ScheduleBatch(entries []BatchEntry)
 	RunFor(d Time)
 	Run()
 }
 
-type wheelAdapter struct{ k *Kernel }
+// wheelAdapter drives a Kernel. With prepped non-nil, Schedule routes through
+// SchedulePrep with a counting prepare hook, so windowed kernels exercise the
+// prepare collection/dispatch machinery on every pooled event.
+type wheelAdapter struct {
+	k       *Kernel
+	prepped *atomic.Int64
+}
 
 func (w wheelAdapter) Now() Time                      { return w.k.Now() }
 func (w wheelAdapter) At(t Time, fn func()) canceller { return w.k.At(t, fn) }
-func (w wheelAdapter) Schedule(t Time, fn func())     { w.k.Schedule(t, fn) }
-func (w wheelAdapter) RunFor(d Time)                  { w.k.RunFor(d) }
-func (w wheelAdapter) Run()                           { w.k.Run() }
+func (w wheelAdapter) Schedule(t Time, fn func()) {
+	if w.prepped != nil {
+		c := w.prepped
+		w.k.SchedulePrep(t, fn, func() { c.Add(1) })
+		return
+	}
+	w.k.Schedule(t, fn)
+}
+func (w wheelAdapter) ScheduleBatch(entries []BatchEntry) { w.k.ScheduleBatch(entries) }
+func (w wheelAdapter) RunFor(d Time)                      { w.k.RunFor(d) }
+func (w wheelAdapter) Run()                               { w.k.Run() }
 
 type refAdapter struct{ r *refSched }
 
 func (a refAdapter) Now() Time                      { return a.r.now }
 func (a refAdapter) At(t Time, fn func()) canceller { return a.r.at(t, fn) }
 func (a refAdapter) Schedule(t Time, fn func())     { a.r.at(t, fn) }
-func (a refAdapter) RunFor(d Time)                  { a.r.runUntil(a.r.now + d) }
-func (a refAdapter) Run()                           { a.r.run() }
+func (a refAdapter) ScheduleBatch(entries []BatchEntry) {
+	// The reference semantics of ScheduleBatch: one sequential insert per
+	// entry, in order.
+	for _, e := range entries {
+		a.r.at(e.When, e.Fn)
+	}
+}
+func (a refAdapter) RunFor(d Time) { a.r.runUntil(a.r.now + d) }
+func (a refAdapter) Run()          { a.r.run() }
 
 // op is one decoded script entry.
 type op struct {
@@ -160,6 +186,7 @@ const (
 	opCancel
 	opReschedule
 	opRunFor
+	opScheduleBatch
 	opKinds
 )
 
@@ -250,30 +277,57 @@ func runScript(s scheduler, script []op) (log []fireRec, final Time) {
 			handles = append(handles, s.At(s.Now()+o.delay, newEvent()))
 		case opRunFor:
 			s.RunFor(o.delay)
+		case opScheduleBatch:
+			// A bulk insert of 2–9 entries whose deltas derive from the op
+			// argument alone, mixing same-time runs (the slot fast path) with
+			// scattered ticks; both schedulers decode identically.
+			n := 2 + int(o.arg)%8
+			entries := make([]BatchEntry, n)
+			h := splitmix64(uint64(o.arg))
+			for i := range entries {
+				extra := Time(h % uint64(128*Microsecond))
+				if h%3 == 0 {
+					extra = 0
+				}
+				entries[i] = BatchEntry{When: s.Now() + o.delay + extra, Fn: newEvent()}
+				h = splitmix64(h)
+			}
+			s.ScheduleBatch(entries)
 		}
 	}
 	s.Run()
 	return log, s.Now()
 }
 
-// diffSchedulers runs one script against both schedulers and reports the
-// first divergence, if any.
+// diffSchedulers runs one script against the reference heap, the serial time
+// wheel, and the conservative-window wheel (2 workers, with every pooled
+// event carrying a prepare hook), and reports the first divergence, if any.
 func diffSchedulers(t testing.TB, script []op) {
 	t.Helper()
-	wheelLog, wheelEnd := runScript(wheelAdapter{NewKernel(1)}, script)
 	refLog, refEndT := runScript(refAdapter{&refSched{}}, script)
-	if len(wheelLog) != len(refLog) {
-		t.Fatalf("wheel fired %d events, reference heap fired %d", len(wheelLog), len(refLog))
-	}
-	for i := range wheelLog {
-		if wheelLog[i] != refLog[i] {
-			t.Fatalf("fire %d diverged: wheel (id=%d at %v), reference (id=%d at %v)",
-				i, wheelLog[i].id, wheelLog[i].when, refLog[i].id, refLog[i].when)
+	check := func(name string, log []fireRec, end Time) {
+		t.Helper()
+		if len(log) != len(refLog) {
+			t.Fatalf("%s fired %d events, reference heap fired %d", name, len(log), len(refLog))
+		}
+		for i := range log {
+			if log[i] != refLog[i] {
+				t.Fatalf("fire %d diverged: %s (id=%d at %v), reference (id=%d at %v)",
+					i, name, log[i].id, log[i].when, refLog[i].id, refLog[i].when)
+			}
+		}
+		if end != refEndT {
+			t.Fatalf("final clocks diverged: %s %v, reference %v", name, end, refEndT)
 		}
 	}
-	if wheelEnd != refEndT {
-		t.Fatalf("final clocks diverged: wheel %v, reference %v", wheelEnd, refEndT)
-	}
+	wheelLog, wheelEnd := runScript(wheelAdapter{k: NewKernel(1)}, script)
+	check("wheel", wheelLog, wheelEnd)
+	pk := NewKernel(1)
+	pk.SetWorkers(2)
+	pk.SetLookahead(64 * Microsecond)
+	var prepped atomic.Int64
+	parLog, parEnd := runScript(wheelAdapter{k: pk, prepped: &prepped}, script)
+	check("windowed wheel", parLog, parEnd)
 }
 
 // TestDifferentialSchedulerRandomOps drives seeded randomized op scripts
@@ -336,6 +390,14 @@ func directedSchedulerCases() []struct {
 		{"run-bursts", []byte{
 			opAt, 10, 0, 1, opAt, 0xe8, 3, 1, opRunFor, 0x64, 0, 1,
 			opSchedule, 10, 0, 1, opRunFor, 0x64, 0, 1, opAt, 1, 0, 2,
+		}},
+		// Bulk inserts: same-time runs on the slot fast path, at-now entries
+		// into the imminent heap, far entries into overflow, interleaved with
+		// singleton schedules and a run burst.
+		{"bulk-fanout", []byte{
+			opScheduleBatch, 9, 0, 1, opScheduleBatch, 0, 0, 3,
+			opSchedule, 5, 0, 1, opScheduleBatch, 0xff, 0xff, 2,
+			opRunFor, 0x40, 0, 1, opScheduleBatch, 3, 1, 0,
 		}},
 	}
 }

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Conservative-window execution (DESIGN.md §14).
+//
+// The serial loop is the determinism contract: events fire one at a time in
+// strict (when, seq) order, sharing one RNG stream and one streaming trace
+// digest. True per-lane event execution would have to split that stream, so
+// the windowed loop parallelizes differently: it slices virtual time into
+// conservative windows and, for each window, runs the *prepare* halves of the
+// window's events concurrently before committing every event serially.
+//
+//	for each window:
+//	  horizon = min(next event time + lookahead, deadline)
+//	  collect prepare-bearing events with when <= horizon   (read-only scan)
+//	  run their prep hooks across the lanes                 (parallel)
+//	  step() every event with when <= horizon               (serial commit)
+//
+// The lookahead is the guaranteed minimum delay between scheduling a
+// preparable event and its fire time (the medium's minimum frame airtime):
+// any preparable event scheduled *during* a window's commit phase lands at or
+// beyond that window's horizon, so the next window's collection scan sees it.
+// Events spawned mid-window with earlier fire times simply commit unprepared
+// — prep hooks are speculative, and the committing callback revalidates or
+// recomputes, so lookahead is purely a throughput knob.
+//
+// The barrier between the prepare and commit phases is a WaitGroup the main
+// goroutine waits on; lanes pull batch indices from a shared atomic cursor
+// (work stealing), which keeps the partition balanced without caring which
+// lane prepares which event. Because prepares never mutate shared state and
+// commits happen only after the barrier, the loop is race-free by
+// construction and the commit order — hence the digest — is byte-identical
+// to the serial loop at any GOMAXPROCS and any worker count.
+
+// minParallelPreps is the smallest prepare batch worth dispatching to worker
+// goroutines; below it the channel handoff costs more than the overlap buys.
+const minParallelPreps = 2
+
+// runWindowed is the conservative-window loop behind Run/RunUntil when
+// SetWorkers enabled it. It fires every event with when <= deadline and
+// returns with the clock at the last committed event (the caller clamps the
+// clock up to the deadline, mirroring the serial loop).
+func (k *Kernel) runWindowed(deadline Time) {
+	if k.workers > 1 && k.pool == nil {
+		// The pool lives only for this call: experiment sweeps build
+		// thousands of kernels, and parked goroutines must not outlive the
+		// run that needed them. A nested Run from inside an event reuses the
+		// outer pool.
+		k.pool = newPrepPool(k.workers - 1)
+		defer func() {
+			k.pool.close()
+			k.pool = nil
+		}()
+	}
+	for !k.stopped {
+		next, ok := k.peekWhen()
+		if !ok || next > deadline {
+			return
+		}
+		horizon := next + k.lookahead
+		if horizon > deadline || horizon < next { // min(), overflow-safe
+			horizon = deadline
+		}
+		k.collectPreps(horizon)
+		k.runPreps()
+		for !k.stopped {
+			w, ok := k.peekWhen()
+			if !ok || w > horizon {
+				break
+			}
+			k.step()
+		}
+	}
+}
+
+// collectPreps gathers the prepare-bearing events due at or before horizon
+// into prepBatch. The scan is strictly read-only: events stay queued in their
+// tiers and are committed later by the ordinary step() path, so a mid-window
+// Stop drains and recycles them exactly once through drainQueue. Only the
+// imminent heap and the wheel window are scanned — overflow events are at
+// least a full wheel span away, far beyond any practical lookahead, and would
+// be collected after promotion anyway.
+func (k *Kernel) collectPreps(horizon Time) {
+	b := k.prepBatch[:0]
+	for _, e := range k.cur {
+		if e.prep != nil && !e.cancelled && e.when <= horizon {
+			b = append(b, e)
+		}
+	}
+	if k.wheelCount > 0 {
+		hTick := tickOf(horizon)
+		if maxTick := k.cursor + wheelSlots; hTick > maxTick {
+			hTick = maxTick
+		}
+		for tk := k.cursor + 1; tk <= hTick; tk++ {
+			s := tk & wheelMask
+			if k.occ[s>>6]&(1<<uint(s&63)) == 0 {
+				continue
+			}
+			for _, e := range k.slots[s] {
+				if e.prep != nil && !e.cancelled && e.when <= horizon {
+					b = append(b, e)
+				}
+			}
+		}
+	}
+	k.prepBatch = b
+}
+
+// runPreps executes the collected prepare hooks: inline when the batch is
+// tiny or the kernel has a single lane, otherwise fanned out across the pool
+// with the main goroutine stealing alongside the workers. Returns only after
+// every prep has completed (the window barrier).
+func (k *Kernel) runPreps() {
+	batch := k.prepBatch
+	if len(batch) == 0 {
+		return
+	}
+	if k.pool == nil || len(batch) < minParallelPreps {
+		for _, e := range batch {
+			e.prep()
+		}
+	} else {
+		k.pool.run(batch)
+	}
+	for i := range batch {
+		batch[i] = nil
+	}
+	k.prepBatch = batch[:0]
+}
+
+// prepPool is a set of parked prepare lanes. One job — a batch plus a shared
+// index cursor — is broadcast per window; lanes steal indices until the batch
+// is exhausted. All synchronization is channel/WaitGroup based, so every
+// prepare happens-before the barrier release and the subsequent commits.
+type prepPool struct {
+	jobs chan prepJob
+	n    int
+	wg   sync.WaitGroup // lane lifetimes, for close()
+}
+
+type prepJob struct {
+	batch []*Event
+	next  *atomic.Int64
+	done  *sync.WaitGroup
+}
+
+func newPrepPool(n int) *prepPool {
+	p := &prepPool{jobs: make(chan prepJob), n: n}
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				prepSteal(j.batch, j.next)
+				j.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes every prep in batch across the pool plus the calling
+// goroutine, returning when all are done.
+func (p *prepPool) run(batch []*Event) {
+	var next atomic.Int64
+	var done sync.WaitGroup
+	done.Add(p.n)
+	job := prepJob{batch: batch, next: &next, done: &done}
+	for i := 0; i < p.n; i++ {
+		p.jobs <- job
+	}
+	prepSteal(batch, &next)
+	done.Wait()
+}
+
+// prepSteal claims batch indices from the shared cursor until none remain.
+func prepSteal(batch []*Event, next *atomic.Int64) {
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= len(batch) {
+			return
+		}
+		batch[i].prep()
+	}
+}
+
+func (p *prepPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}

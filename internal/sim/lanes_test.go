@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// TestWindowedDigestMatchesSerial runs an identical event script on a serial
+// kernel and on windowed kernels at several worker counts; the trace digests
+// — which mix every fired event's (when, seq) — must be byte-identical, and
+// the prepare hooks must actually have run.
+func TestWindowedDigestMatchesSerial(t *testing.T) {
+	build := func(k *Kernel, prepped *atomic.Int64) {
+		// A self-rescheduling chain whose links each spawn a same-tick burst
+		// of leaf events, spanning several lookahead windows per link.
+		var chain func(round int) func()
+		chain = func(round int) func() {
+			return func() {
+				if round >= 50 {
+					return
+				}
+				for i := 0; i < 4; i++ {
+					d := Time(round*7+i) * 10 * Microsecond
+					k.SchedulePrep(k.Now()+d, func() {}, func() { prepped.Add(1) })
+				}
+				k.SchedulePrep(k.Now()+350*Microsecond, chain(round+1), func() { prepped.Add(1) })
+			}
+		}
+		k.Schedule(0, chain(0))
+	}
+	var wantDigest uint64
+	var wantFired uint64
+	for _, workers := range []int{0, 1, 2, 4} {
+		k := NewKernel(1)
+		k.SetWorkers(workers)
+		k.SetLookahead(192 * Microsecond)
+		var prepped atomic.Int64
+		build(k, &prepped)
+		fired := k.RunFor(Second)
+		if workers == 0 {
+			wantDigest, wantFired = k.Digest(), fired
+			continue
+		}
+		if k.Digest() != wantDigest {
+			t.Errorf("workers=%d digest %#x, serial %#x", workers, k.Digest(), wantDigest)
+		}
+		if fired != wantFired {
+			t.Errorf("workers=%d fired %d events, serial %d", workers, fired, wantFired)
+		}
+		if prepped.Load() == 0 {
+			t.Errorf("workers=%d: no prepare hook ever ran", workers)
+		}
+	}
+}
+
+// TestWindowedRunUntilClock pins RunUntil's contract under the windowed loop:
+// the clock lands exactly on the deadline, later events stay queued, and a
+// subsequent run fires them.
+func TestWindowedRunUntilClock(t *testing.T) {
+	k := NewKernel(1)
+	k.SetWorkers(2)
+	k.SetLookahead(100 * Microsecond)
+	var fired []Time
+	for _, d := range []Time{Millisecond, 2 * Millisecond, 5 * Millisecond} {
+		d := d
+		k.SchedulePrep(d, func() { fired = append(fired, k.Now()) }, func() {})
+	}
+	k.RunUntil(3 * Millisecond)
+	if k.Now() != 3*Millisecond {
+		t.Fatalf("clock at %v, want exactly 3ms", k.Now())
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before the deadline, want 2", len(fired))
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("%d events pending after RunUntil, want 1", k.Pending())
+	}
+	k.Run()
+	if len(fired) != 3 || fired[2] != 5*Millisecond {
+		t.Fatalf("late event fired %v, want 5ms (log %v)", fired[len(fired)-1], fired)
+	}
+}
+
+// TestWindowedStopRecyclesPendingOnce is the regression test for the
+// Stop/drain audit under the windowed loop: prepare collection must leave
+// events queued in their tiers (a read-only scan), so a mid-window Stop
+// recycles every pooled pending event into the freelist exactly once — no
+// event lost to a stale prepare batch, none recycled twice.
+func TestWindowedStopRecyclesPendingOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			k := NewKernel(1)
+			k.SetWorkers(workers)
+			k.SetLookahead(500 * Microsecond)
+			// Fill every tier with preparable events: some inside the first
+			// window (collected into the prepare batch before the stop), some
+			// beyond it, some past the wheel horizon.
+			for i := 0; i < 32; i++ {
+				k.SchedulePrep(Time(i)*20*Microsecond, func() {}, func() {})
+			}
+			k.SchedulePrep(10*Millisecond, func() {}, func() {})
+			k.SchedulePrep(10*Second, func() {}, func() {})
+			// The stop fires mid-window, with collected-but-unfired prepare
+			// events still queued.
+			k.SchedulePrep(100*Microsecond, func() { k.Stop() }, func() {})
+			k.Run()
+			seen := make(map[*Event]bool, len(k.freeEvents))
+			for _, e := range k.freeEvents {
+				if seen[e] {
+					t.Fatalf("event %p recycled twice", e)
+				}
+				seen[e] = true
+			}
+			if got, want := uint64(len(k.freeEvents)), k.eventAllocs; got != want {
+				t.Fatalf("freelist holds %d events after Stop, want all %d allocated", got, want)
+			}
+			if k.Pending() != 0 {
+				t.Fatalf("%d events still pending after Stop", k.Pending())
+			}
+		})
+	}
+}
+
+// TestScheduleBatchMatchesSequential pins ScheduleBatch's contract directly:
+// bulk insertion is observationally identical — fire order, digest, clock —
+// to one Schedule call per entry.
+func TestScheduleBatchMatchesSequential(t *testing.T) {
+	delays := []Time{
+		0, 0, 0, // at-now: imminent heap
+		40 * Microsecond, 40 * Microsecond, 41 * Microsecond, // shared ticks
+		3 * Millisecond, 3 * Millisecond, // shared slot later in the window
+		10 * Second, 10 * Second, // overflow
+		50 * Microsecond, // back to an earlier tick after overflow
+	}
+	run := func(batch bool) (log []int, digest uint64) {
+		k := NewKernel(1)
+		if batch {
+			entries := make([]BatchEntry, len(delays))
+			for i, d := range delays {
+				i := i
+				entries[i] = BatchEntry{When: d, Fn: func() { log = append(log, i) }}
+			}
+			k.ScheduleBatch(entries)
+		} else {
+			for i, d := range delays {
+				i := i
+				k.Schedule(d, func() { log = append(log, i) })
+			}
+		}
+		k.Run()
+		return log, k.Digest()
+	}
+	seqLog, seqDigest := run(false)
+	batchLog, batchDigest := run(true)
+	if len(seqLog) != len(delays) {
+		t.Fatalf("sequential run fired %d of %d events", len(seqLog), len(delays))
+	}
+	if fmt.Sprint(seqLog) != fmt.Sprint(batchLog) {
+		t.Fatalf("fire order diverged: sequential %v, batch %v", seqLog, batchLog)
+	}
+	if seqDigest != batchDigest {
+		t.Fatalf("digest diverged: sequential %#x, batch %#x", seqDigest, batchDigest)
+	}
+}
+
+// TestScheduleBatchPanics pins the validation semantics: a past or nil entry
+// panics exactly like Schedule, and entries before the bad one stay queued.
+func TestScheduleBatchPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.Schedule(Millisecond, func() {})
+	k.RunFor(2 * Millisecond)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("past entry did not panic")
+			}
+		}()
+		k.ScheduleBatch([]BatchEntry{
+			{When: 3 * Millisecond, Fn: func() {}},
+			{When: Millisecond, Fn: func() {}}, // in the past
+		})
+	}()
+	if k.Pending() != 1 {
+		t.Fatalf("%d events pending after partial batch, want the 1 valid entry", k.Pending())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("nil Fn did not panic")
+			}
+		}()
+		k.ScheduleBatch([]BatchEntry{{When: 4 * Millisecond}})
+	}()
+}

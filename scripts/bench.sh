@@ -2,8 +2,9 @@
 # scripts/bench.sh — run the benchmark suite and emit a JSON summary:
 #
 #   - the root-package experiment benchmarks (E1–E15, the campus-world
-#     throughput bench, and the chaos digest matrix), once each
-#     (-benchtime 1x: they are whole experiments);
+#     throughput benches — serial and conservative-window parallel — and
+#     the chaos digest matrix), once each (-benchtime 1x: they are whole
+#     experiments);
 #   - the sim kernel throughput benchmarks (events/sec at several standing
 #     queue depths, the reference-heap comparison, and the soak bench);
 #   - the sharded-medium broadcast benchmarks (per-transmission delivery
@@ -18,11 +19,11 @@
 #
 #   scripts/bench.sh [out.json [baseline]]
 #
-# out.json defaults to BENCH_PR9.json. baseline, when given, is either a
+# out.json defaults to BENCH_PR10.json. baseline, when given, is either a
 # saved `go test -bench` text output or a JSON file previously emitted by
-# this script (e.g. BENCH_PR7.json); its numbers are embedded per benchmark
+# this script (e.g. BENCH_PR9.json); its numbers are embedded per benchmark
 # as baseline_* fields for before/after comparison across a change. When no
-# baseline is named, BENCH_PR7.json is used if present.
+# baseline is named, BENCH_PR9.json is used if present.
 #
 # BENCH_NOTES, if set in the environment, is embedded verbatim as a "notes"
 # string — use it to record why a number was re-baselined.
@@ -30,10 +31,10 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-OUT=${1:-BENCH_PR9.json}
+OUT=${1:-BENCH_PR10.json}
 BASELINE=${2:-}
-if [ -z "$BASELINE" ] && [ -f BENCH_PR7.json ] && [ "$OUT" != "BENCH_PR7.json" ]; then
-	BASELINE=BENCH_PR7.json
+if [ -z "$BASELINE" ] && [ -f BENCH_PR9.json ] && [ "$OUT" != "BENCH_PR9.json" ]; then
+	BASELINE=BENCH_PR9.json
 fi
 MICROTIME=${MICROTIME:-1s}
 TMP=$(mktemp)
